@@ -1,0 +1,61 @@
+"""A2 — selection-strategy ablation (beyond the paper).
+
+The paper's Eq. 3 is ambiguous (see DESIGN.md): read literally it
+prefers *worse* individuals, while the text describes preferring better
+ones.  This ablation runs all four selection strategies on the same
+population and seed and reports the mean-score improvement of each, so
+the ambiguity's practical cost is measurable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_generations, emit
+from repro.core import EvolutionaryProtector
+from repro.core.selection import STRATEGIES
+from repro.datasets import load_flare, protected_attributes
+from repro.experiments import build_initial_population
+from repro.metrics import ProtectionEvaluator
+from repro.utils.tables import format_table
+
+_RESULTS: dict[str, dict[str, float]] = {}
+
+
+def _run(strategy: str):
+    original = load_flare()
+    attributes = protected_attributes("flare")
+    evaluator = ProtectionEvaluator(original, attributes)
+    engine = EvolutionaryProtector(evaluator, selection_strategy=strategy, seed=42)
+    protections = build_initial_population(original, dataset_name="flare", seed=0)
+    return engine.run(protections, stopping=bench_generations(250))
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_ablation_selection_strategy(benchmark, strategy):
+    result = benchmark.pedantic(_run, args=(strategy,), rounds=1, iterations=1)
+    history = result.history
+    __, final_mean, mean_improvement = history.improvement("mean")
+    __, final_max, max_improvement = history.improvement("max")
+    _RESULTS[strategy] = {
+        "final_mean": final_mean,
+        "mean_improvement": mean_improvement,
+        "final_max": final_max,
+        "max_improvement": max_improvement,
+        "acceptance": history.acceptance_rate(),
+    }
+    assert mean_improvement >= 0.0
+
+    if len(_RESULTS) == len(STRATEGIES):
+        rows = [
+            [name, r["final_mean"], r["mean_improvement"], r["final_max"],
+             r["max_improvement"], r["acceptance"]]
+            for name, r in _RESULTS.items()
+        ]
+        emit(
+            "A2 — selection-strategy ablation (flare, Eq. 2)",
+            format_table(
+                ["strategy", "final mean", "mean improv %", "final max", "max improv %", "accept rate"],
+                rows,
+            ),
+        )

@@ -1,0 +1,42 @@
+"""E1 — paper §3.1, Figures 1-8: mean-score fitness on all four datasets.
+
+Regenerates, per dataset: the initial/final (IL, DR) dispersion cloud,
+the max/mean/min score evolution series, and the in-text improvement
+percentages, all under the Eq. 1 mean score.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import bench_generations, emit_experiment_reports
+from repro.experiments import EXPERIMENT1_FIGURES, run_experiment1
+
+DATASETS = ("adult", "housing", "german", "flare")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig_experiment1_mean_score(benchmark, dataset):
+    outcome = benchmark.pedantic(
+        run_experiment1,
+        args=(dataset,),
+        kwargs={"generations": bench_generations(), "seed": 42},
+        rounds=1,
+        iterations=1,
+    )
+    figures = EXPERIMENT1_FIGURES[dataset]
+    emit_experiment_reports(
+        f"E1 {dataset} (Eq. 1 mean score)",
+        outcome,
+        dispersion_figure=figures["dispersion"],
+        evolution_figure=figures["evolution"],
+    )
+
+    history = outcome.history
+    # Reproduction checks (shape, not absolute numbers): scores are
+    # monotone non-increasing under elitism, and the mean improves.
+    assert all(b <= a + 1e-9 for a, b in zip(history.mean_scores, history.mean_scores[1:]))
+    __, __, mean_improvement = history.improvement("mean")
+    assert mean_improvement >= 0.0
+    __, __, min_improvement = history.improvement("min")
+    assert min_improvement < 20.0  # the paper: min barely moves

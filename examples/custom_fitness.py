@@ -1,0 +1,84 @@
+"""Scenario: plugging a custom fitness into the optimizer.
+
+The paper's §4 highlights that the approach adapts to new measures "by
+just providing a different fitness evaluation function".  This example
+does exactly that: it defines a custom score function (a risk-averse
+power mean) and a custom disclosure-risk measure (uniqueness risk: the
+share of records whose quasi-identifier tuple is unique in the masked
+file), wires both into a ProtectionEvaluator, and evolves with them.
+
+Run:  python examples/custom_fitness.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    EvolutionaryProtector,
+    Pram,
+    PowerMeanScore,
+    ProtectionEvaluator,
+    RankSwapping,
+    load_german,
+    protected_attributes,
+)
+from repro.metrics import DisclosureRiskMeasure, default_dr_measures, default_il_measures
+
+
+class UniquenessRisk(DisclosureRiskMeasure):
+    """Share of masked records with a population-unique quasi-identifier tuple.
+
+    Sample uniques are the classic k-anonymity worry: a unique tuple in
+    the published file is a direct re-identification handle.
+    """
+
+    measure_name = "uniqueness"
+
+    def _compute(self, masked) -> float:
+        columns = np.stack([masked.column(c) for c in self.columns], axis=1)
+        _, inverse, counts = np.unique(
+            columns, axis=0, return_inverse=True, return_counts=True
+        )
+        unique_share = float((counts[inverse] == 1).mean())
+        return 100.0 * unique_share
+
+
+def main() -> None:
+    original = load_german()
+    attributes = protected_attributes("german")
+
+    # The paper's measure stacks, extended with the custom risk measure.
+    dr_measures = default_dr_measures(original, attributes)
+    dr_measures.append(UniquenessRisk(original, attributes))
+    evaluator = ProtectionEvaluator(
+        original,
+        attributes,
+        il_measures=default_il_measures(original, attributes),
+        dr_measures=dr_measures,
+        score_function=PowerMeanScore(exponent=4.0),  # between mean and max
+    )
+
+    protections = [
+        Pram(theta=theta).protect(original, attributes, seed=seed)
+        for seed, theta in enumerate((0.1, 0.2, 0.3, 0.4))
+    ] + [
+        RankSwapping(p=p).protect(original, attributes, seed=seed)
+        for seed, p in enumerate((2, 5, 8, 11), start=20)
+    ]
+
+    engine = EvolutionaryProtector(evaluator, seed=3)
+    result = engine.run(protections, stopping=120)
+
+    print(f"evolved {len(result.history)} generations with a custom fitness")
+    best = result.best
+    print(f"best protection: {best.evaluation}")
+    print("disclosure-risk components of the winner:")
+    for name, value in best.evaluation.dr_components.items():
+        print(f"  {name:>12}: {value:6.2f}")
+    initial, final, percent = result.history.improvement("mean")
+    print(f"population mean score: {initial:.2f} -> {final:.2f} ({percent:+.2f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,291 @@
+"""Command-line interface.
+
+Everything the library does is reachable from the shell::
+
+    python -m repro datasets
+    python -m repro generate --dataset adult --output adult.csv
+    python -m repro protect --dataset adult --method pram --param theta=0.3 \
+        --seed 7 --output protected.csv
+    python -m repro evaluate --dataset adult --masked protected.csv --score max
+    python -m repro evolve --dataset flare --score max --generations 300 \
+        --seed 42 --output best.csv
+    python -m repro experiment --id e2 --dataset flare --generations 300
+
+All commands are deterministic given ``--seed``.  File formats are the
+CSV dialect of :mod:`repro.data.io` (header row, labels validated
+against the dataset's schema).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.data.io import read_csv, write_csv
+from repro.datasets.registry import PAPER_SPECS, load_dataset, protected_attributes
+from repro.exceptions import ReproError
+from repro.utils.tables import format_table
+
+
+def _parse_params(pairs: Sequence[str]) -> dict[str, object]:
+    """Parse ``key=value`` method parameters, coercing numerics."""
+    params: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ReproError(f"bad --param {pair!r}; expected key=value")
+        value: object = raw
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                pass
+        params[key] = value
+    return params
+
+
+def _resolve_attributes(args: argparse.Namespace) -> tuple[str, ...]:
+    if args.attributes:
+        return tuple(a.strip() for a in args.attributes.split(",") if a.strip())
+    return protected_attributes(args.dataset)
+
+
+# -- subcommand implementations ------------------------------------------
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name, spec in PAPER_SPECS.items():
+        rows.append(
+            [
+                name,
+                spec.n_records,
+                len(spec.attributes),
+                ", ".join(spec.protected_attributes),
+            ]
+        )
+    print(format_table(["dataset", "records", "attributes", "protected"], rows,
+                       title="paper datasets (synthetic reconstructions)"))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    write_csv(dataset, args.output)
+    print(f"wrote {dataset.n_records} x {dataset.n_attributes} file: {args.output}")
+    return 0
+
+
+def cmd_protect(args: argparse.Namespace) -> int:
+    from repro.methods.base import registry
+
+    original = load_dataset(args.dataset)
+    attributes = _resolve_attributes(args)
+    method = registry.create(args.method, **_parse_params(args.param))
+    masked = method.protect(original, attributes, seed=args.seed)
+    write_csv(masked, args.output)
+    print(f"applied {method.describe()} to {', '.join(attributes)}")
+    print(f"cells changed: {original.cells_changed(masked)}")
+    print(f"wrote: {args.output}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.metrics.evaluation import ProtectionEvaluator
+    from repro.metrics.score import score_function_by_name
+
+    original = load_dataset(args.dataset)
+    attributes = _resolve_attributes(args)
+    masked = read_csv(args.masked, original.schema)
+    evaluator = ProtectionEvaluator(
+        original, attributes, score_function=score_function_by_name(args.score)
+    )
+    score = evaluator.evaluate(masked)
+    rows = [["information loss", score.information_loss],
+            ["disclosure risk", score.disclosure_risk],
+            [f"score ({args.score})", score.score]]
+    print(format_table(["measure", "value"], rows, title=f"evaluation of {args.masked}"))
+    component_rows = [[name, value] for name, value in score.il_components.items()]
+    component_rows += [[name, value] for name, value in score.dr_components.items()]
+    print()
+    print(format_table(["component", "value"], component_rows))
+    return 0
+
+
+def cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import dispersion_data
+    from repro.experiments.reporting import render_dispersion, render_improvements, render_timing
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(
+        dataset=args.dataset,
+        score=args.score,
+        generations=args.generations,
+        seed=args.seed,
+        drop_best_fraction=args.drop_best,
+    )
+    outcome = run_experiment(config)
+    print(render_improvements(outcome.history, f"{args.dataset} / {args.score} score"))
+    print()
+    print(render_dispersion(dispersion_data(outcome.result),
+                            "initial (o) vs final (x) population"))
+    print()
+    print(render_timing(outcome.history, "per-generation timing"))
+    if args.output:
+        best = outcome.result.best
+        write_csv(best.dataset, args.output)
+        print(f"\nwrote best protection ({best.evaluation}): {args.output}")
+    return 0
+
+
+def cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.core.pareto import ParetoEvolutionaryProtector
+    from repro.experiments.population_builder import build_initial_population
+    from repro.metrics.evaluation import ProtectionEvaluator
+
+    original = load_dataset(args.dataset)
+    attributes = _resolve_attributes(args)
+    evaluator = ProtectionEvaluator(original, attributes)
+    engine = ParetoEvolutionaryProtector(evaluator, seed=args.seed)
+    protections = build_initial_population(original, dataset_name=args.dataset, seed=0)
+    result = engine.run(protections, generations=args.generations)
+    rows = [[il, dr, max(il, dr)] for il, dr in result.front_objectives()]
+    print(format_table(["IL", "DR", "max(IL,DR)"], rows,
+                       title=f"Pareto front after {args.generations} generations "
+                             f"({len(result.front)} of {len(result.population)} protections)"))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import export_experiment
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(
+        dataset=args.dataset,
+        score=args.score,
+        generations=args.generations,
+        seed=args.seed,
+        drop_best_fraction=args.drop_best,
+    )
+    outcome = run_experiment(config)
+    stem = f"{args.dataset}_{args.score}_g{args.generations}_s{args.seed}"
+    paths = export_experiment(outcome.result, args.directory, stem)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        EXPERIMENT3_FRACTIONS,
+        run_experiment1,
+        run_experiment2,
+        run_experiment3,
+    )
+    from repro.experiments.figures import dispersion_data
+    from repro.experiments.reporting import render_dispersion, render_evolution, render_improvements
+
+    if args.id == "e1":
+        outcome = run_experiment1(args.dataset, generations=args.generations, seed=args.seed)
+        label = f"E1 {args.dataset} (Eq. 1 mean score)"
+    elif args.id == "e2":
+        outcome = run_experiment2(args.dataset, generations=args.generations, seed=args.seed)
+        label = f"E2 {args.dataset} (Eq. 2 max score)"
+    else:
+        fraction = args.drop_best if args.drop_best else min(EXPERIMENT3_FRACTIONS)
+        outcome = run_experiment3(fraction, generations=args.generations, seed=args.seed)
+        label = f"E3 flare without best {fraction:.0%}"
+    print(render_dispersion(dispersion_data(outcome.result), f"{label}: dispersion"))
+    print()
+    print(render_evolution(outcome.history, f"{label}: score evolution"))
+    print()
+    print(render_improvements(outcome.history, f"{label}: improvements"))
+    return 0
+
+
+# -- parser ----------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Evolutionary optimization for categorical data protection "
+        "(Marés & Torra, PAIS/EDBT 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the paper's datasets").set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("generate", help="write a synthetic paper dataset to CSV")
+    p.add_argument("--dataset", required=True, choices=sorted(PAPER_SPECS))
+    p.add_argument("--output", required=True)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("protect", help="apply one protection method")
+    p.add_argument("--dataset", required=True, choices=sorted(PAPER_SPECS))
+    p.add_argument("--method", required=True)
+    p.add_argument("--param", action="append", default=[], metavar="KEY=VALUE")
+    p.add_argument("--attributes", default="", help="comma-separated; default: paper's")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", required=True)
+    p.set_defaults(fn=cmd_protect)
+
+    p = sub.add_parser("evaluate", help="score a masked CSV against a paper dataset")
+    p.add_argument("--dataset", required=True, choices=sorted(PAPER_SPECS))
+    p.add_argument("--masked", required=True)
+    p.add_argument("--attributes", default="")
+    p.add_argument("--score", default="max", choices=["mean", "max", "weighted", "power_mean"])
+    p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser("evolve", help="build the paper population and run the GA")
+    p.add_argument("--dataset", required=True, choices=sorted(PAPER_SPECS))
+    p.add_argument("--score", default="max", choices=["mean", "max", "weighted", "power_mean"])
+    p.add_argument("--generations", type=int, default=300)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--drop-best", type=float, default=0.0)
+    p.add_argument("--output", default="", help="write the best protection here")
+    p.set_defaults(fn=cmd_evolve)
+
+    p = sub.add_parser("pareto", help="evolve the Pareto IL/DR front (extension)")
+    p.add_argument("--dataset", required=True, choices=sorted(PAPER_SPECS))
+    p.add_argument("--attributes", default="")
+    p.add_argument("--generations", type=int, default=200)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(fn=cmd_pareto)
+
+    p = sub.add_parser("export", help="run the GA and export figure data as CSV")
+    p.add_argument("--dataset", required=True, choices=sorted(PAPER_SPECS))
+    p.add_argument("--score", default="max", choices=["mean", "max", "weighted", "power_mean"])
+    p.add_argument("--generations", type=int, default=300)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--drop-best", type=float, default=0.0)
+    p.add_argument("--directory", required=True)
+    p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser("experiment", help="run a paper experiment end to end")
+    p.add_argument("--id", required=True, choices=["e1", "e2", "e3"])
+    p.add_argument("--dataset", default="flare", choices=sorted(PAPER_SPECS))
+    p.add_argument("--generations", type=int, default=None)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--drop-best", type=float, default=0.0)
+    p.set_defaults(fn=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The paper's primary contribution: the evolutionary protection engine."""
+
+from repro.core.engine import EvolutionaryProtector, EvolutionResult
+from repro.core.history import EvolutionHistory, GenerationRecord
+from repro.core.individual import Individual
+from repro.core.operators import crossover, crossover_points, mutate
+from repro.core.pareto import (
+    ParetoEvolutionaryProtector,
+    ParetoResult,
+    crowding_distance,
+    dominates,
+    non_dominated_sort,
+)
+from repro.core.population import Population
+from repro.core.replacement import crowding_pairs, deterministic_crowding, elitist_survivor
+from repro.core.selection import STRATEGIES, select_index, select_leader, selection_probabilities
+from repro.core.stopping import AnyOf, MaxGenerations, Stagnation, StoppingRule, TargetScore
+
+__all__ = [
+    "EvolutionaryProtector",
+    "EvolutionResult",
+    "EvolutionHistory",
+    "GenerationRecord",
+    "Individual",
+    "Population",
+    "mutate",
+    "crossover",
+    "crossover_points",
+    "elitist_survivor",
+    "deterministic_crowding",
+    "crowding_pairs",
+    "selection_probabilities",
+    "select_index",
+    "select_leader",
+    "STRATEGIES",
+    "StoppingRule",
+    "MaxGenerations",
+    "Stagnation",
+    "TargetScore",
+    "AnyOf",
+    "ParetoEvolutionaryProtector",
+    "ParetoResult",
+    "dominates",
+    "non_dominated_sort",
+    "crowding_distance",
+]

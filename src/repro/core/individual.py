@@ -1,0 +1,52 @@
+"""GA individuals: one protected file plus its evaluation.
+
+The paper's genotype encoding (its §2.1) stores chromosomes as the
+protected data files themselves, with the category values as genes.  An
+:class:`Individual` wraps the protected
+:class:`~repro.data.dataset.CategoricalDataset` together with its
+:class:`~repro.metrics.evaluation.ProtectionScore` and a little lineage
+metadata used by reports and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import CategoricalDataset
+from repro.metrics.evaluation import ProtectionScore
+
+
+@dataclass(frozen=True)
+class Individual:
+    """A scored protected file inside the GA population."""
+
+    dataset: CategoricalDataset
+    evaluation: ProtectionScore
+    origin: str = "initial"
+    birth_generation: int = 0
+
+    @property
+    def score(self) -> float:
+        """Aggregated fitness score (lower is better)."""
+        return self.evaluation.score
+
+    @property
+    def information_loss(self) -> float:
+        """IL component of the evaluation."""
+        return self.evaluation.information_loss
+
+    @property
+    def disclosure_risk(self) -> float:
+        """DR component of the evaluation."""
+        return self.evaluation.disclosure_risk
+
+    def genotype_distance(self, other: "Individual") -> int:
+        """Number of cells where the two protected files differ.
+
+        Deterministic crowding uses this to pair offspring with the most
+        similar parent when index pairing is disabled.
+        """
+        return self.dataset.cells_changed(other.dataset)
+
+    def __str__(self) -> str:
+        return f"Individual({self.dataset.name!r}, {self.evaluation})"

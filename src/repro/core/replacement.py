@@ -1,0 +1,64 @@
+"""Replacement policies (paper §2.4).
+
+* **Elitist replacement** (mutation path): the offspring replaces its
+  parent only if it is at least as good, so the population never loses
+  its best solution.
+* **Deterministic crowding** (crossover path; Mahfoud, 1992): each
+  offspring competes against one parent and only the better of each pair
+  survives.  The paper keeps each newcomer paired with *its* parent
+  (index pairing); the classical variant instead pairs offspring with
+  the genotypically closest parent — both are provided, index pairing is
+  the default.
+"""
+
+from __future__ import annotations
+
+from repro.core.individual import Individual
+
+
+def elitist_survivor(parent: Individual, child: Individual) -> Individual:
+    """The better of parent and child; the child wins ties.
+
+    Winning ties keeps neutral drift possible (the search can move along
+    score plateaus) while guaranteeing the paper's invariant that the
+    next generation "will be at least not worse".
+    """
+    return child if child.score <= parent.score else parent
+
+
+def crowding_pairs(
+    parents: tuple[Individual, Individual],
+    children: tuple[Individual, Individual],
+    pairing: str = "index",
+) -> list[tuple[Individual, Individual]]:
+    """Pair each child with the parent it competes against.
+
+    ``"index"`` pairs child ``k`` with parent ``k`` (the paper's
+    proximity relation); ``"distance"`` applies classical deterministic
+    crowding, choosing the assignment that minimizes the total genotype
+    distance between paired individuals.
+    """
+    if pairing == "index":
+        return [(parents[0], children[0]), (parents[1], children[1])]
+    if pairing == "distance":
+        straight = (
+            parents[0].genotype_distance(children[0])
+            + parents[1].genotype_distance(children[1])
+        )
+        crossed = (
+            parents[0].genotype_distance(children[1])
+            + parents[1].genotype_distance(children[0])
+        )
+        if straight <= crossed:
+            return [(parents[0], children[0]), (parents[1], children[1])]
+        return [(parents[0], children[1]), (parents[1], children[0])]
+    raise ValueError(f"unknown pairing {pairing!r}; choose 'index' or 'distance'")
+
+
+def deterministic_crowding(
+    parents: tuple[Individual, Individual],
+    children: tuple[Individual, Individual],
+    pairing: str = "index",
+) -> list[Individual]:
+    """Survivor of each (parent, child) pair, children winning ties."""
+    return [elitist_survivor(parent, child) for parent, child in crowding_pairs(parents, children, pairing)]

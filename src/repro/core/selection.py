@@ -1,0 +1,83 @@
+"""Parent selection strategies (paper §2.4).
+
+Scores are *minimized*, which makes the paper's Eq. 3 — ``p(X_i) =
+Score(X_i) / sum_j Score(X_j)`` — ambiguous: read literally it gives
+*worse* individuals higher selection probability, while the surrounding
+text says "better individuals have a greater probability of being
+selected" and §3.1 observes that bad-score individuals are rarely
+selected.  We implement both readings plus two standard baselines, and
+default to the text's intent:
+
+* ``"proportional"`` (default) — probability proportional to
+  ``max + min - score``, the classic inversion of roulette-wheel
+  selection for minimization;
+* ``"literal"`` — Eq. 3 exactly as printed (favours bad scores);
+* ``"rank"`` — linear ranking on the sorted population, insensitive to
+  score scale;
+* ``"uniform"`` — uniform choice (ablation baseline).
+
+The crossover leader pick (uniform among the ``Nb`` best) lives in
+:func:`select_leader`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.population import Population
+from repro.exceptions import EvolutionError
+from repro.utils.rng import as_generator
+
+STRATEGIES = ("proportional", "literal", "rank", "uniform")
+
+
+def selection_probabilities(scores: np.ndarray, strategy: str = "proportional") -> np.ndarray:
+    """Selection probability vector for a score vector (lower = better)."""
+    values = np.asarray(scores, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise EvolutionError("scores must be a non-empty vector")
+    if np.any(values < 0):
+        raise EvolutionError("scores must be non-negative")
+    n = values.size
+
+    if strategy == "uniform":
+        return np.full(n, 1.0 / n)
+    if strategy == "literal":
+        total = values.sum()
+        if total <= 0:
+            return np.full(n, 1.0 / n)
+        return values / total
+    if strategy == "proportional":
+        transformed = values.max() + values.min() - values
+        total = transformed.sum()
+        if total <= 0:
+            return np.full(n, 1.0 / n)
+        return transformed / total
+    if strategy == "rank":
+        order = np.argsort(np.argsort(values, kind="stable"), kind="stable")
+        # Best (rank 0) gets weight n, worst gets 1.
+        weights = (n - order).astype(np.float64)
+        return weights / weights.sum()
+    raise EvolutionError(f"unknown selection strategy {strategy!r}; choose from {STRATEGIES}")
+
+
+def select_index(
+    population: Population,
+    strategy: str = "proportional",
+    seed: int | np.random.Generator | None = None,
+) -> int:
+    """Draw one population index according to ``strategy``."""
+    rng = as_generator(seed)
+    probabilities = selection_probabilities(population.scores(), strategy)
+    return int(rng.choice(len(population), p=probabilities))
+
+
+def select_leader(
+    population: Population,
+    leader_count: int,
+    seed: int | np.random.Generator | None = None,
+) -> int:
+    """Uniform draw among the ``leader_count`` best individuals."""
+    rng = as_generator(seed)
+    leaders = population.leaders(min(leader_count, len(population)))
+    return leaders[int(rng.integers(len(leaders)))]

@@ -1,0 +1,94 @@
+"""Stopping rules for the evolutionary run.
+
+The paper's Algorithm 1 leaves ``stopping(P(t))`` abstract; these rules
+cover the practical choices: a generation budget, stagnation of the mean
+score, and a target score, combinable with :class:`AnyOf`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.core.history import EvolutionHistory
+from repro.exceptions import EvolutionError
+
+
+class StoppingRule(ABC):
+    """Decides after each generation whether the run should end."""
+
+    @abstractmethod
+    def should_stop(self, history: EvolutionHistory) -> bool:
+        """True when the run must stop given the history so far."""
+
+
+class MaxGenerations(StoppingRule):
+    """Stop after a fixed number of generations."""
+
+    def __init__(self, generations: int) -> None:
+        if generations < 1:
+            raise EvolutionError(f"generations must be >= 1, got {generations}")
+        self.generations = generations
+
+    def should_stop(self, history: EvolutionHistory) -> bool:
+        return len(history) >= self.generations
+
+    def __repr__(self) -> str:
+        return f"MaxGenerations({self.generations})"
+
+
+class Stagnation(StoppingRule):
+    """Stop when the mean score stops improving.
+
+    The rule fires when the best mean score seen has not improved by at
+    least ``min_delta`` for ``patience`` consecutive generations.
+    """
+
+    def __init__(self, patience: int = 50, min_delta: float = 1e-6) -> None:
+        if patience < 1:
+            raise EvolutionError(f"patience must be >= 1, got {patience}")
+        if min_delta < 0:
+            raise EvolutionError(f"min_delta must be >= 0, got {min_delta}")
+        self.patience = patience
+        self.min_delta = min_delta
+
+    def should_stop(self, history: EvolutionHistory) -> bool:
+        means = history.mean_scores
+        if len(means) <= self.patience:
+            return False
+        window_best = min(means[-self.patience :])
+        earlier_best = min(means[: -self.patience])
+        return window_best > earlier_best - self.min_delta
+
+    def __repr__(self) -> str:
+        return f"Stagnation(patience={self.patience}, min_delta={self.min_delta})"
+
+
+class TargetScore(StoppingRule):
+    """Stop when the population minimum score reaches ``target``."""
+
+    def __init__(self, target: float) -> None:
+        if target < 0:
+            raise EvolutionError(f"target must be >= 0, got {target}")
+        self.target = target
+
+    def should_stop(self, history: EvolutionHistory) -> bool:
+        return bool(history.min_scores) and history.min_scores[-1] <= self.target
+
+    def __repr__(self) -> str:
+        return f"TargetScore({self.target})"
+
+
+class AnyOf(StoppingRule):
+    """Stop when any of the wrapped rules fires."""
+
+    def __init__(self, rules: Sequence[StoppingRule]) -> None:
+        if not rules:
+            raise EvolutionError("AnyOf needs at least one rule")
+        self.rules = tuple(rules)
+
+    def should_stop(self, history: EvolutionHistory) -> bool:
+        return any(rule.should_stop(history) for rule in self.rules)
+
+    def __repr__(self) -> str:
+        return f"AnyOf({list(self.rules)!r})"

@@ -1,0 +1,19 @@
+"""Categorical data model: domains, schemas, datasets and CSV io."""
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.domain import CategoricalDomain
+from repro.data.io import read_csv, read_csv_inferring_schema, write_csv
+from repro.data.schema import DatasetSchema
+from repro.data.validation import require_attributes, require_masked_pair, require_population
+
+__all__ = [
+    "CategoricalDataset",
+    "CategoricalDomain",
+    "DatasetSchema",
+    "read_csv",
+    "read_csv_inferring_schema",
+    "write_csv",
+    "require_attributes",
+    "require_masked_pair",
+    "require_population",
+]

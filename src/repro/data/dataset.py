@@ -1,0 +1,229 @@
+"""The categorical microdata file.
+
+:class:`CategoricalDataset` is the value type the whole library moves
+around: an ``(n_records, n_attributes)`` matrix of integer category codes
+plus a :class:`~repro.data.schema.DatasetSchema`.  The paper's GA keeps
+whole protected files in memory as chromosomes (its §2.1 genotype
+encoding); we keep them as code matrices, which makes every measure a
+vectorized numpy computation instead of a string comparison loop.
+
+Datasets are *logically immutable*: the code matrix is flagged
+read-only and all transformations return new objects.  Genetic operators
+that need scratch space take an explicit writable copy via
+:meth:`CategoricalDataset.codes_copy`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.domain import CategoricalDomain
+from repro.data.schema import DatasetSchema
+from repro.exceptions import SchemaError
+
+
+class CategoricalDataset:
+    """An integer-coded categorical microdata file.
+
+    Parameters
+    ----------
+    codes:
+        ``(n_records, n_attributes)`` integer array; ``codes[r, a]`` is
+        the category code of record ``r`` for attribute ``a``.
+    schema:
+        Domains for each column, in order.
+    name:
+        Human-readable name carried through reports.
+    """
+
+    __slots__ = ("codes", "schema", "name")
+
+    def __init__(self, codes: np.ndarray, schema: DatasetSchema, name: str = "dataset") -> None:
+        arr = np.asarray(codes, dtype=np.int64)
+        if arr.ndim != 2:
+            raise SchemaError(f"codes must be 2-D (records x attributes), got shape {arr.shape}")
+        if arr.shape[1] != schema.n_attributes:
+            raise SchemaError(
+                f"codes have {arr.shape[1]} columns but schema has {schema.n_attributes} attributes"
+            )
+        for col, domain in enumerate(schema):
+            domain.validate_codes(arr[:, col])
+        arr = arr.copy()
+        arr.setflags(write=False)
+        self.codes = arr
+        self.schema = schema
+        self.name = name
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_labels(
+        cls,
+        rows: Sequence[Sequence[str]],
+        schema: DatasetSchema,
+        name: str = "dataset",
+    ) -> "CategoricalDataset":
+        """Build a dataset from rows of string labels."""
+        n_attrs = schema.n_attributes
+        codes = np.empty((len(rows), n_attrs), dtype=np.int64)
+        for r, row in enumerate(rows):
+            if len(row) != n_attrs:
+                raise SchemaError(f"row {r} has {len(row)} values, schema expects {n_attrs}")
+            for a, domain in enumerate(schema):
+                codes[r, a] = domain.code(row[a])
+        return cls(codes, schema, name=name)
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: dict[str, Sequence[str]],
+        ordinal: Sequence[str] = (),
+        name: str = "dataset",
+    ) -> "CategoricalDataset":
+        """Build a dataset (and infer domains) from label columns.
+
+        Domain categories are the sorted distinct labels of each column;
+        attributes listed in ``ordinal`` are flagged ordinal with that
+        sorted order as rank order.
+        """
+        ordinal_set = set(ordinal)
+        unknown = ordinal_set - set(columns)
+        if unknown:
+            raise SchemaError(f"ordinal attributes not present in columns: {sorted(unknown)}")
+        domains = []
+        encoded = []
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"columns have differing lengths: {sorted(lengths)}")
+        for attr, values in columns.items():
+            labels = sorted(set(str(v) for v in values))
+            domain = CategoricalDomain(attr, labels, ordinal=attr in ordinal_set)
+            domains.append(domain)
+            encoded.append(domain.encode(str(v) for v in values))
+        codes = np.column_stack(encoded) if encoded else np.empty((0, 0), dtype=np.int64)
+        return cls(codes, DatasetSchema(domains), name=name)
+
+    # -- shape accessors ----------------------------------------------
+
+    @property
+    def n_records(self) -> int:
+        """Number of records (rows)."""
+        return self.codes.shape[0]
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of attributes (columns)."""
+        return self.codes.shape[1]
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells (records x attributes)."""
+        return self.codes.size
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Attribute names in column order."""
+        return self.schema.attribute_names
+
+    def domain(self, key: int | str) -> CategoricalDomain:
+        """Domain of a column (by index or attribute name)."""
+        return self.schema.domain(key)
+
+    # -- data accessors -----------------------------------------------
+
+    def column(self, key: int | str) -> np.ndarray:
+        """Read-only code vector of one attribute."""
+        index = self.schema.index_of(key) if isinstance(key, str) else key
+        return self.codes[:, index]
+
+    def column_labels(self, key: int | str) -> list[str]:
+        """Label list of one attribute."""
+        index = self.schema.index_of(key) if isinstance(key, str) else key
+        return self.schema.domain(index).decode(self.codes[:, index])
+
+    def record_labels(self, row: int) -> list[str]:
+        """Labels of one record across all attributes."""
+        return [self.schema.domain(a).label(self.codes[row, a]) for a in range(self.n_attributes)]
+
+    def to_labels(self) -> list[list[str]]:
+        """All records as rows of labels (CSV-ready)."""
+        return [self.record_labels(r) for r in range(self.n_records)]
+
+    def codes_copy(self) -> np.ndarray:
+        """Writable copy of the code matrix (for genetic operators)."""
+        return self.codes.copy()
+
+    def value_counts(self, key: int | str) -> np.ndarray:
+        """Frequency of every domain category of one attribute.
+
+        The returned vector is indexed by category code and includes
+        zero-count categories, so its length equals the domain size.
+        """
+        index = self.schema.index_of(key) if isinstance(key, str) else key
+        return np.bincount(self.codes[:, index], minlength=self.schema.domain(index).size)
+
+    # -- transformations ----------------------------------------------
+
+    def with_codes(self, codes: np.ndarray, name: str | None = None) -> "CategoricalDataset":
+        """New dataset with the same schema and a different code matrix."""
+        return CategoricalDataset(codes, self.schema, name=name if name is not None else self.name)
+
+    def replace_column(self, key: int | str, codes: np.ndarray, name: str | None = None) -> "CategoricalDataset":
+        """New dataset with one attribute's codes replaced."""
+        index = self.schema.index_of(key) if isinstance(key, str) else key
+        new_codes = self.codes_copy()
+        new_codes[:, index] = np.asarray(codes, dtype=np.int64)
+        return self.with_codes(new_codes, name=name)
+
+    def select_attributes(self, names: Sequence[str], name: str | None = None) -> "CategoricalDataset":
+        """New dataset restricted to the given attributes, in order."""
+        indices = [self.schema.index_of(n) for n in names]
+        return CategoricalDataset(
+            self.codes[:, indices],
+            self.schema.subset(names),
+            name=name if name is not None else self.name,
+        )
+
+    def renamed(self, name: str) -> "CategoricalDataset":
+        """Same data under a different dataset name."""
+        return CategoricalDataset(self.codes, self.schema, name=name)
+
+    # -- comparisons ---------------------------------------------------
+
+    def require_compatible(self, other: "CategoricalDataset") -> None:
+        """Raise :class:`SchemaError` unless ``other`` pairs with this file.
+
+        Pairing requires the identical schema *and* record count: the
+        measures and the GA treat rows at equal index as the same
+        respondent.
+        """
+        self.schema.require_compatible(other.schema)
+        if self.n_records != other.n_records:
+            raise SchemaError(
+                f"record counts differ: {self.n_records} vs {other.n_records}"
+            )
+
+    def equals(self, other: "CategoricalDataset") -> bool:
+        """Value equality: same schema and identical code matrix."""
+        return (
+            self.schema == other.schema
+            and self.codes.shape == other.codes.shape
+            and bool(np.array_equal(self.codes, other.codes))
+        )
+
+    def cells_changed(self, other: "CategoricalDataset") -> int:
+        """Number of cells whose code differs between the two files."""
+        self.require_compatible(other)
+        return int(np.count_nonzero(self.codes != other.codes))
+
+    def fingerprint(self) -> bytes:
+        """Cheap content hash of the code matrix (used by fitness caching)."""
+        return self.codes.tobytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"CategoricalDataset({self.name!r}, {self.n_records} records x "
+            f"{self.n_attributes} attributes)"
+        )

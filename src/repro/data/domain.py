@@ -1,0 +1,119 @@
+"""Attribute domains for categorical microdata.
+
+A :class:`CategoricalDomain` is the closed, ordered set of labels one
+attribute may take.  Categorical SDC methods are only allowed to exchange
+values *inside* a domain (the paper, §2.1: partial string modifications
+"can generate categories out of our domain"), so the domain object is the
+single authority on which codes are valid and how labels map to integer
+codes.
+
+Domains distinguish *nominal* attributes (no meaningful order; distance
+between distinct categories is 0/1) from *ordinal* attributes (categories
+carry a rank; top/bottom coding and rank-based measures use it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DomainError
+
+
+class CategoricalDomain:
+    """Closed ordered set of category labels for one attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, e.g. ``"EDUCATION"``.
+    categories:
+        Unique labels in domain order.  For ordinal domains the order is
+        the rank order (smallest first).
+    ordinal:
+        Whether category order is semantically meaningful.
+    """
+
+    __slots__ = ("name", "categories", "ordinal", "_code_of")
+
+    def __init__(self, name: str, categories: Sequence[str], ordinal: bool = False) -> None:
+        if not name:
+            raise DomainError("domain name must be non-empty")
+        labels = tuple(str(c) for c in categories)
+        if not labels:
+            raise DomainError(f"domain {name!r} must have at least one category")
+        if len(set(labels)) != len(labels):
+            raise DomainError(f"domain {name!r} has duplicate categories")
+        self.name = name
+        self.categories = labels
+        self.ordinal = bool(ordinal)
+        self._code_of = {label: code for code, label in enumerate(labels)}
+
+    @property
+    def size(self) -> int:
+        """Number of categories in the domain."""
+        return len(self.categories)
+
+    def code(self, label: str) -> int:
+        """Integer code of ``label``; raises :class:`DomainError` if unknown."""
+        try:
+            return self._code_of[label]
+        except KeyError:
+            raise DomainError(f"label {label!r} is not in domain {self.name!r}") from None
+
+    def label(self, code: int) -> str:
+        """Label for integer ``code``; raises :class:`DomainError` if out of range."""
+        if not 0 <= code < self.size:
+            raise DomainError(f"code {code} out of range for domain {self.name!r} (size {self.size})")
+        return self.categories[int(code)]
+
+    def encode(self, labels: Iterable[str]) -> np.ndarray:
+        """Vectorized :meth:`code` over an iterable of labels."""
+        return np.fromiter((self.code(label) for label in labels), dtype=np.int64)
+
+    def decode(self, codes: Iterable[int]) -> list[str]:
+        """Vectorized :meth:`label` over an iterable of codes."""
+        return [self.label(code) for code in codes]
+
+    def contains_label(self, label: str) -> bool:
+        """Whether ``label`` is a valid category of this domain."""
+        return label in self._code_of
+
+    def contains_code(self, code: int) -> bool:
+        """Whether integer ``code`` addresses a category of this domain."""
+        return 0 <= code < self.size
+
+    def validate_codes(self, codes: np.ndarray) -> None:
+        """Raise :class:`DomainError` unless every entry of ``codes`` is valid."""
+        arr = np.asarray(codes)
+        if arr.size and (arr.min() < 0 or arr.max() >= self.size):
+            bad = arr[(arr < 0) | (arr >= self.size)][0]
+            raise DomainError(f"code {int(bad)} out of range for domain {self.name!r} (size {self.size})")
+
+    def as_ordinal(self) -> "CategoricalDomain":
+        """Return a copy of this domain flagged ordinal (same categories)."""
+        return CategoricalDomain(self.name, self.categories, ordinal=True)
+
+    def renamed(self, name: str) -> "CategoricalDomain":
+        """Return a copy of this domain with a different attribute name."""
+        return CategoricalDomain(name, self.categories, ordinal=self.ordinal)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CategoricalDomain):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.categories == other.categories
+            and self.ordinal == other.ordinal
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.categories, self.ordinal))
+
+    def __repr__(self) -> str:
+        kind = "ordinal" if self.ordinal else "nominal"
+        return f"CategoricalDomain({self.name!r}, {self.size} categories, {kind})"

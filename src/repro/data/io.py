@@ -1,0 +1,91 @@
+"""CSV input/output for categorical microdata files.
+
+Statistical agencies exchange microdata as flat delimited text; this
+module reads and writes that format.  Reading can either validate labels
+against a known schema (the normal case for protected files, which must
+stay inside the original domains) or infer domains from the file contents.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.schema import DatasetSchema
+from repro.exceptions import DataFormatError, DomainError
+
+
+def write_csv(dataset: CategoricalDataset, path: str | Path, delimiter: str = ",") -> None:
+    """Write ``dataset`` as a delimited text file with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(dataset.attribute_names)
+        writer.writerows(dataset.to_labels())
+
+
+def read_csv(
+    path: str | Path,
+    schema: DatasetSchema,
+    name: str | None = None,
+    delimiter: str = ",",
+) -> CategoricalDataset:
+    """Read a delimited file whose labels must conform to ``schema``.
+
+    The header row must list exactly the schema's attribute names in
+    order; any label outside its attribute's domain raises
+    :class:`DataFormatError`.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataFormatError(f"{path}: file is empty") from None
+        if tuple(header) != schema.attribute_names:
+            raise DataFormatError(
+                f"{path}: header {tuple(header)} does not match schema {schema.attribute_names}"
+            )
+        rows = []
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != schema.n_attributes:
+                raise DataFormatError(
+                    f"{path}:{line_no}: expected {schema.n_attributes} fields, got {len(row)}"
+                )
+            rows.append(row)
+    try:
+        return CategoricalDataset.from_labels(rows, schema, name=name or path.stem)
+    except DomainError as exc:
+        raise DataFormatError(f"{path}: {exc}") from exc
+
+
+def read_csv_inferring_schema(
+    path: str | Path,
+    ordinal: Sequence[str] = (),
+    name: str | None = None,
+    delimiter: str = ",",
+) -> CategoricalDataset:
+    """Read a delimited file, inferring each attribute's domain from its values."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataFormatError(f"{path}: file is empty") from None
+        if len(set(header)) != len(header):
+            raise DataFormatError(f"{path}: duplicate attribute names in header")
+        columns: dict[str, list[str]] = {attr: [] for attr in header}
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise DataFormatError(
+                    f"{path}:{line_no}: expected {len(header)} fields, got {len(row)}"
+                )
+            for attr, value in zip(header, row):
+                columns[attr].append(value)
+    if not next(iter(columns.values()), []):
+        raise DataFormatError(f"{path}: no data rows")
+    return CategoricalDataset.from_columns(columns, ordinal=ordinal, name=name or path.stem)

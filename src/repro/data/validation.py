@@ -1,0 +1,36 @@
+"""Structural validation helpers shared by methods, metrics and the GA.
+
+These functions express the preconditions of the paper's setting once, so
+every consumer states them identically: a *masked pair* is an original
+file plus a candidate protection with the same schema and record count,
+and a *population* is a set of protections that all pair with the same
+original.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.data.dataset import CategoricalDataset
+from repro.exceptions import SchemaError
+
+
+def require_masked_pair(original: CategoricalDataset, masked: CategoricalDataset) -> None:
+    """Validate that ``masked`` is a candidate protection of ``original``."""
+    original.require_compatible(masked)
+
+
+def require_population(original: CategoricalDataset, protections: Sequence[CategoricalDataset]) -> None:
+    """Validate that every file in ``protections`` pairs with ``original``."""
+    if not protections:
+        raise SchemaError("population must contain at least one protection")
+    for i, masked in enumerate(protections):
+        try:
+            original.require_compatible(masked)
+        except SchemaError as exc:
+            raise SchemaError(f"protection #{i} ({masked.name!r}) incompatible: {exc}") from exc
+
+
+def require_attributes(dataset: CategoricalDataset, names: Sequence[str]) -> list[int]:
+    """Resolve attribute ``names`` to column indices, validating existence."""
+    return [dataset.schema.index_of(name) for name in names]

@@ -1,0 +1,26 @@
+"""Synthetic reconstructions of the paper's four UCI evaluation datasets."""
+
+from repro.datasets.adult import ADULT_SPEC, load_adult
+from repro.datasets.flare import FLARE_SPEC, load_flare
+from repro.datasets.german import GERMAN_SPEC, load_german
+from repro.datasets.housing import HOUSING_SPEC, load_housing
+from repro.datasets.registry import PAPER_SPECS, dataset_names, load_dataset, protected_attributes
+from repro.datasets.synthetic import AttributeSpec, SyntheticSpec, generate
+
+__all__ = [
+    "AttributeSpec",
+    "SyntheticSpec",
+    "generate",
+    "load_adult",
+    "load_flare",
+    "load_german",
+    "load_housing",
+    "ADULT_SPEC",
+    "FLARE_SPEC",
+    "GERMAN_SPEC",
+    "HOUSING_SPEC",
+    "PAPER_SPECS",
+    "dataset_names",
+    "load_dataset",
+    "protected_attributes",
+]

@@ -1,0 +1,149 @@
+"""Synthetic categorical microdata generation.
+
+The paper evaluates on four UCI files that we cannot download in this
+offline environment, so :mod:`repro.datasets` regenerates them
+synthetically (see DESIGN.md §4).  What the GA and all measures consume
+is purely the categorical structure — record count, per-attribute
+cardinality, marginal skew, and inter-attribute association — so the
+generator is built to control exactly those properties:
+
+* a **latent class model** gives inter-attribute correlation: each record
+  first draws a hidden class, then draws every attribute from that class's
+  own categorical distribution;
+* class-conditional distributions are **Dirichlet draws with small
+  concentration**, producing the skewed marginals census categories have;
+* **ordinal attributes** get unimodal class-conditional distributions
+  centred at a class-specific rank, so that rank-based measures (interval
+  disclosure, rank swapping) see realistic ordered structure.
+
+Everything is driven by an explicit seed: the same spec + seed always
+yields the identical file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.domain import CategoricalDomain
+from repro.data.schema import DatasetSchema
+from repro.exceptions import SchemaError
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Declarative description of one synthetic attribute.
+
+    ``labels`` overrides the auto-generated label set (``NAME=k``); when
+    provided its length must equal ``n_categories``.
+    """
+
+    name: str
+    n_categories: int
+    ordinal: bool = False
+    labels: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_categories < 1:
+            raise SchemaError(f"attribute {self.name!r} needs >= 1 category")
+        if self.labels is not None and len(self.labels) != self.n_categories:
+            raise SchemaError(
+                f"attribute {self.name!r}: {len(self.labels)} labels for "
+                f"{self.n_categories} categories"
+            )
+
+    def domain(self) -> CategoricalDomain:
+        """Materialize the :class:`CategoricalDomain` for this spec."""
+        labels = self.labels
+        if labels is None:
+            width = len(str(self.n_categories - 1))
+            labels = tuple(f"{self.name}={i:0{width}d}" for i in range(self.n_categories))
+        return CategoricalDomain(self.name, labels, ordinal=self.ordinal)
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Full description of a synthetic dataset."""
+
+    name: str
+    n_records: int
+    attributes: tuple[AttributeSpec, ...]
+    n_latent_classes: int = 6
+    concentration: float = 0.6
+    ordinal_spread: float = 0.18
+    seed: int = 0
+    protected_attributes: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.n_records < 1:
+            raise SchemaError(f"dataset {self.name!r} needs >= 1 record")
+        if not self.attributes:
+            raise SchemaError(f"dataset {self.name!r} needs >= 1 attribute")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"dataset {self.name!r} has duplicate attribute names")
+        missing = set(self.protected_attributes) - set(names)
+        if missing:
+            raise SchemaError(f"protected attributes not in spec: {sorted(missing)}")
+        if self.n_latent_classes < 1:
+            raise SchemaError("n_latent_classes must be >= 1")
+        if self.concentration <= 0:
+            raise SchemaError("concentration must be positive")
+
+    def schema(self) -> DatasetSchema:
+        """Materialize the dataset schema."""
+        return DatasetSchema([a.domain() for a in self.attributes])
+
+
+def _nominal_class_distributions(
+    rng: np.random.Generator, n_classes: int, n_categories: int, concentration: float
+) -> np.ndarray:
+    """Dirichlet-distributed class-conditional pmfs, shape (classes, cats)."""
+    alpha = np.full(n_categories, concentration)
+    return rng.dirichlet(alpha, size=n_classes)
+
+
+def _ordinal_class_distributions(
+    rng: np.random.Generator, n_classes: int, n_categories: int, spread: float
+) -> np.ndarray:
+    """Unimodal class-conditional pmfs centred at class-specific ranks."""
+    centers = rng.uniform(0.0, 1.0, size=n_classes)
+    positions = (np.arange(n_categories) + 0.5) / n_categories
+    sigma = max(spread, 1e-6)
+    logits = -((positions[None, :] - centers[:, None]) ** 2) / (2.0 * sigma**2)
+    pmf = np.exp(logits)
+    pmf /= pmf.sum(axis=1, keepdims=True)
+    return pmf
+
+
+def generate(spec: SyntheticSpec) -> CategoricalDataset:
+    """Generate the dataset described by ``spec`` (deterministic in its seed)."""
+    rng = as_generator(spec.seed)
+    schema = spec.schema()
+
+    # Latent class mixing weights, skewed so classes have unequal sizes.
+    weights = rng.dirichlet(np.full(spec.n_latent_classes, 1.5))
+    classes = rng.choice(spec.n_latent_classes, size=spec.n_records, p=weights)
+
+    columns = np.empty((spec.n_records, len(spec.attributes)), dtype=np.int64)
+    for col, attr in enumerate(spec.attributes):
+        if attr.ordinal:
+            pmfs = _ordinal_class_distributions(
+                rng, spec.n_latent_classes, attr.n_categories, spec.ordinal_spread
+            )
+        else:
+            pmfs = _nominal_class_distributions(
+                rng, spec.n_latent_classes, attr.n_categories, spec.concentration
+            )
+        # Draw per record from its class-conditional pmf via a vectorized
+        # inverse-CDF lookup over each record's class row.
+        cdfs = np.cumsum(pmfs, axis=1)
+        cdfs[:, -1] = 1.0
+        u = rng.uniform(size=spec.n_records)
+        drawn = (cdfs[classes] < u[:, None]).sum(axis=1)
+        columns[:, col] = drawn.clip(0, attr.n_categories - 1)
+
+    return CategoricalDataset(columns, schema, name=spec.name)

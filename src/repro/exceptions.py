@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised on purpose by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DomainError(ReproError):
+    """A category label or code is not valid for an attribute domain."""
+
+
+class SchemaError(ReproError):
+    """Two datasets (or a dataset and a schema) are structurally incompatible."""
+
+
+class DataFormatError(ReproError):
+    """A file being read is malformed (bad CSV shape, unknown labels, ...)."""
+
+
+class ProtectionError(ReproError):
+    """A protection method received invalid parameters or data."""
+
+
+class MetricError(ReproError):
+    """An information-loss or disclosure-risk measure cannot be computed."""
+
+
+class LinkageError(ReproError):
+    """A record-linkage computation received invalid inputs."""
+
+
+class EvolutionError(ReproError):
+    """The evolutionary engine was misconfigured or reached an invalid state."""
+
+
+class HierarchyError(ReproError):
+    """A value generalization hierarchy is malformed or incomplete."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,41 @@
+"""Paper experiment 1 (§3.1): mean-score fitness on all four datasets.
+
+Reproduces Figures 1–8: for each dataset, run the GA with the Eq. 1 mean
+score and extract the initial/final dispersion clouds and the
+max/mean/min score evolution, plus the in-text improvement percentages.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    default_generations,
+    run_experiment,
+)
+
+#: Dataset order of the paper's §3.1 figure discussion.
+EXPERIMENT1_DATASETS = ("adult", "housing", "german", "flare")
+
+#: Which paper figure each dataset's artifacts correspond to.
+EXPERIMENT1_FIGURES = {
+    "adult": {"dispersion": 1, "evolution": 2},
+    "housing": {"dispersion": 3, "evolution": 4},
+    "german": {"dispersion": 5, "evolution": 6},
+    "flare": {"dispersion": 7, "evolution": 8},
+}
+
+
+def experiment1_config(dataset: str, generations: int | None = None, seed: int = 42) -> ExperimentConfig:
+    """The §3.1 configuration for one dataset (Eq. 1 mean score)."""
+    return ExperimentConfig(
+        dataset=dataset,
+        score="mean",
+        generations=generations if generations is not None else default_generations(),
+        seed=seed,
+    )
+
+
+def run_experiment1(dataset: str, generations: int | None = None, seed: int = 42) -> ExperimentResult:
+    """Run §3.1 for one dataset and return the full result."""
+    return run_experiment(experiment1_config(dataset, generations=generations, seed=seed))

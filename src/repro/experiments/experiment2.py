@@ -1,0 +1,42 @@
+"""Paper experiment 2 (§3.2): max-score fitness on all four datasets.
+
+Reproduces Figures 9–16 (dispersion + evolution under the Eq. 2 max
+score), the §3.2 improvement percentages, the balance observation (final
+clouds concentrate around IL ~= DR), and the per-generation timing
+breakdown reported at the end of §3.2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    default_generations,
+    run_experiment,
+)
+
+#: Dataset order of the paper's §3.2 figure discussion.
+EXPERIMENT2_DATASETS = ("adult", "housing", "german", "flare")
+
+#: Which paper figure each dataset's artifacts correspond to.
+EXPERIMENT2_FIGURES = {
+    "adult": {"dispersion": 9, "evolution": 10},
+    "housing": {"dispersion": 11, "evolution": 12},
+    "german": {"dispersion": 13, "evolution": 14},
+    "flare": {"dispersion": 15, "evolution": 16},
+}
+
+
+def experiment2_config(dataset: str, generations: int | None = None, seed: int = 42) -> ExperimentConfig:
+    """The §3.2 configuration for one dataset (Eq. 2 max score)."""
+    return ExperimentConfig(
+        dataset=dataset,
+        score="max",
+        generations=generations if generations is not None else default_generations(),
+        seed=seed,
+    )
+
+
+def run_experiment2(dataset: str, generations: int | None = None, seed: int = 42) -> ExperimentResult:
+    """Run §3.2 for one dataset and return the full result."""
+    return run_experiment(experiment2_config(dataset, generations=generations, seed=seed))

@@ -1,0 +1,69 @@
+"""CSV export of figure data series.
+
+The benchmarks print ASCII renderings; this module writes the underlying
+series as CSV so users can re-plot the paper's figures with their own
+tooling.  One file per artifact:
+
+* ``<stem>_dispersion.csv`` — ``phase,il,dr`` rows (phase is ``initial``
+  or ``final``) — the dispersion figures;
+* ``<stem>_evolution.csv`` — ``generation,max,mean,min`` rows — the
+  evolution figures;
+* ``<stem>_improvements.csv`` — ``series,initial,final,improvement_pct``
+  rows — the in-text numbers.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.engine import EvolutionResult
+from repro.core.history import EvolutionHistory
+from repro.experiments.figures import dispersion_data, evolution_rows, improvement_rows
+
+
+def export_dispersion_csv(result: EvolutionResult, path: str | Path) -> Path:
+    """Write the initial/final (IL, DR) clouds of ``result`` to ``path``."""
+    path = Path(path)
+    data = dispersion_data(result)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["phase", "il", "dr"])
+        for il, dr in data.initial:
+            writer.writerow(["initial", f"{il:.6f}", f"{dr:.6f}"])
+        for il, dr in data.final:
+            writer.writerow(["final", f"{il:.6f}", f"{dr:.6f}"])
+    return path
+
+
+def export_evolution_csv(history: EvolutionHistory, path: str | Path) -> Path:
+    """Write the per-generation max/mean/min score series to ``path``."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["generation", "max", "mean", "min"])
+        for generation, max_s, mean_s, min_s in evolution_rows(history):
+            writer.writerow([generation, f"{max_s:.6f}", f"{mean_s:.6f}", f"{min_s:.6f}"])
+    return path
+
+
+def export_improvements_csv(history: EvolutionHistory, path: str | Path) -> Path:
+    """Write the initial/final/percent rows per score series to ``path``."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", "initial", "final", "improvement_pct"])
+        for series, initial, final, percent in improvement_rows(history):
+            writer.writerow([series, f"{initial:.6f}", f"{final:.6f}", f"{percent:.6f}"])
+    return path
+
+
+def export_experiment(result: EvolutionResult, directory: str | Path, stem: str) -> list[Path]:
+    """Write all three artifacts of one run under ``directory``; returns paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return [
+        export_dispersion_csv(result, directory / f"{stem}_dispersion.csv"),
+        export_evolution_csv(result.history, directory / f"{stem}_evolution.csv"),
+        export_improvements_csv(result.history, directory / f"{stem}_improvements.csv"),
+    ]

@@ -1,0 +1,98 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmarks and examples print the same rows/series the paper's
+figures plot; this module renders them: score-series tables, improvement
+summaries, and a small ASCII scatter for the dispersion figures so runs
+are eyeballable straight from a terminal or CI log.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.history import EvolutionHistory
+from repro.experiments.figures import DispersionData, evolution_rows, improvement_rows
+from repro.utils.tables import format_table
+
+
+def render_improvements(history: EvolutionHistory, title: str) -> str:
+    """The paper's in-text numbers: initial -> final per score series."""
+    return format_table(
+        ["series", "initial", "final", "improvement %"],
+        improvement_rows(history),
+        title=title,
+    )
+
+
+def render_evolution(history: EvolutionHistory, title: str, max_rows: int = 20) -> str:
+    """Evolution-figure series as a table, subsampled to ``max_rows``."""
+    stride = max(1, len(history) // max_rows)
+    return format_table(
+        ["generation", "max", "mean", "min"],
+        evolution_rows(history, stride=stride),
+        title=title,
+    )
+
+
+def ascii_scatter(
+    points: Sequence[tuple[float, float]],
+    marker: str,
+    grid: list[list[str]] | None = None,
+    width: int = 56,
+    height: int = 18,
+    limit: float = 100.0,
+) -> list[list[str]]:
+    """Place ``points`` (x=IL, y=DR in [0, limit]) onto a character grid.
+
+    Call once per cloud with different markers, then render with
+    :func:`render_grid`; later markers overwrite earlier ones.
+    """
+    if grid is None:
+        grid = [[" "] * width for _ in range(height)]
+    for il, dr in points:
+        x = min(width - 1, max(0, int(il / limit * (width - 1))))
+        y = min(height - 1, max(0, int(dr / limit * (height - 1))))
+        grid[height - 1 - y][x] = marker
+    return grid
+
+
+def render_grid(grid: list[list[str]], title: str, x_label: str = "IL", y_label: str = "DR") -> str:
+    """Render an :func:`ascii_scatter` grid with a frame and axis labels."""
+    width = len(grid[0]) if grid else 0
+    lines = [title, f"{y_label} ^"]
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width + f"> {x_label}")
+    return "\n".join(lines)
+
+
+def render_dispersion(data: DispersionData, title: str) -> str:
+    """Initial (o) vs final (x) dispersion clouds as ASCII art + imbalance."""
+    grid = ascii_scatter(data.initial, "o")
+    grid = ascii_scatter(data.final, "x", grid=grid)
+    body = render_grid(grid, title)
+    return (
+        f"{body}\n"
+        f"  mean |IL-DR|: initial {data.initial_mean_imbalance():.2f} "
+        f"-> final {data.final_mean_imbalance():.2f}   (o initial, x final)"
+    )
+
+
+def render_timing(history: EvolutionHistory, title: str) -> str:
+    """Per-operator timing table (paper §3.2 in-text timing)."""
+    rows = []
+    for operator, stats in history.operator_timing().items():
+        rows.append(
+            [
+                operator,
+                int(stats["generations"]),
+                stats["fitness_seconds"],
+                stats["other_seconds"],
+                stats["total_seconds"],
+            ]
+        )
+    return format_table(
+        ["operator", "generations", "fitness s/gen", "other s/gen", "total s/gen"],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,13 @@
+"""Value generalization hierarchies for non-perturbative protection."""
+
+from repro.hierarchy.builders import fanout_hierarchy, frequency_hierarchy
+from repro.hierarchy.io import read_hierarchy_csv, write_hierarchy_csv
+from repro.hierarchy.vgh import ValueHierarchy
+
+__all__ = [
+    "ValueHierarchy",
+    "fanout_hierarchy",
+    "frequency_hierarchy",
+    "read_hierarchy_csv",
+    "write_hierarchy_csv",
+]

@@ -1,0 +1,74 @@
+"""Automatic hierarchy construction.
+
+The paper's datasets come without curated taxonomies, so — like most SDC
+toolkits (e.g. the fanout hierarchies of ARX) — we synthesize hierarchies
+mechanically:
+
+* :func:`fanout_hierarchy` groups *adjacent* categories in domain order,
+  ``fanout`` at a time, repeatedly until one group remains.  For ordinal
+  domains this yields interval generalizations ("BUILT 1950..1959"); for
+  nominal domains it is an arbitrary but deterministic partition, which is
+  exactly what mechanically generated recodings look like in practice.
+* :func:`frequency_hierarchy` groups categories by similar frequency in a
+  reference dataset, merging the rarest first — a common recoding practice
+  because rare categories drive re-identification risk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.domain import CategoricalDomain
+from repro.exceptions import HierarchyError
+from repro.hierarchy.vgh import ValueHierarchy
+
+
+def fanout_hierarchy(domain: CategoricalDomain, fanout: int = 2) -> ValueHierarchy:
+    """Group adjacent categories ``fanout`` at a time until one group remains."""
+    if fanout < 2:
+        raise HierarchyError(f"fanout must be >= 2, got {fanout}")
+    group_maps = []
+    previous = np.arange(domain.size)
+    while int(previous.max()) + 1 > 1:
+        current = previous // fanout
+        group_maps.append(current)
+        previous = current
+    return ValueHierarchy(domain, group_maps)
+
+
+def frequency_hierarchy(
+    domain: CategoricalDomain,
+    reference: CategoricalDataset,
+    attribute: str | None = None,
+    fanout: int = 2,
+) -> ValueHierarchy:
+    """Merge the rarest categories first, ``fanout`` groups at a time.
+
+    ``reference`` supplies the category frequencies; ``attribute``
+    defaults to ``domain.name``.
+    """
+    if fanout < 2:
+        raise HierarchyError(f"fanout must be >= 2, got {fanout}")
+    attr = attribute if attribute is not None else domain.name
+    counts = reference.value_counts(attr)
+    if counts.shape != (domain.size,):
+        raise HierarchyError(
+            f"reference dataset attribute {attr!r} has {counts.shape[0]} categories, "
+            f"domain has {domain.size}"
+        )
+    # Order categories by ascending frequency (ties broken by code so the
+    # construction is deterministic), then group adjacent ranks.
+    order = np.lexsort((np.arange(domain.size), counts))
+    rank = np.empty(domain.size, dtype=np.int64)
+    rank[order] = np.arange(domain.size)
+
+    group_maps = []
+    previous_rankmap = rank
+    n_groups = domain.size
+    while n_groups > 1:
+        merged = previous_rankmap // fanout
+        group_maps.append(merged)
+        previous_rankmap = merged
+        n_groups = int(merged.max()) + 1
+    return ValueHierarchy(domain, group_maps)

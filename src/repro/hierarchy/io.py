@@ -1,0 +1,94 @@
+"""CSV import/export of value generalization hierarchies.
+
+Interchange format shared with mainstream SDC toolkits (ARX, sdcMicro):
+one row per original category, one column per level, level 0 first::
+
+    0-9,0-19,*
+    10-19,0-19,*
+    20-29,20-39,*
+    ...
+
+Column ``l`` holds the generalized label of the category at level ``l``;
+categories sharing a label at a level share a group.  Import validates
+that the file's level-0 column matches the target domain and that every
+level coarsens the previous one (enforced by
+:class:`~repro.hierarchy.vgh.ValueHierarchy` itself).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.domain import CategoricalDomain
+from repro.exceptions import HierarchyError
+from repro.hierarchy.vgh import ValueHierarchy
+
+
+def write_hierarchy_csv(
+    hierarchy: ValueHierarchy,
+    path: str | Path,
+    delimiter: str = ",",
+) -> None:
+    """Write ``hierarchy`` in the one-row-per-category interchange format.
+
+    Generalized labels are synthesized as ``L<level>G<group>`` since the
+    library's hierarchies are label-free above level 0.
+    """
+    path = Path(path)
+    domain = hierarchy.domain
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        for code in range(domain.size):
+            row = [domain.label(code)]
+            for level in range(1, hierarchy.n_levels):
+                group = int(hierarchy.group_of(level)[code])
+                row.append(f"L{level}G{group}")
+            writer.writerow(row)
+
+
+def read_hierarchy_csv(
+    domain: CategoricalDomain,
+    path: str | Path,
+    delimiter: str = ",",
+) -> ValueHierarchy:
+    """Read a hierarchy for ``domain`` from the interchange format."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        rows = [row for row in csv.reader(handle, delimiter=delimiter) if row]
+    if len(rows) != domain.size:
+        raise HierarchyError(
+            f"{path}: {len(rows)} rows for domain {domain.name!r} of size {domain.size}"
+        )
+    widths = {len(row) for row in rows}
+    if len(widths) != 1:
+        raise HierarchyError(f"{path}: rows have differing column counts {sorted(widths)}")
+    n_levels = widths.pop()
+    if n_levels < 1:
+        raise HierarchyError(f"{path}: no columns")
+
+    # Map each row to its domain code via the level-0 label.
+    codes = np.empty(domain.size, dtype=np.int64)
+    seen = set()
+    for i, row in enumerate(rows):
+        label = row[0]
+        if not domain.contains_label(label):
+            raise HierarchyError(f"{path}: unknown level-0 label {label!r}")
+        if label in seen:
+            raise HierarchyError(f"{path}: duplicate level-0 label {label!r}")
+        seen.add(label)
+        codes[i] = domain.code(label)
+
+    group_maps = []
+    for level in range(1, n_levels):
+        labels = [row[level] for row in rows]
+        # Contiguous group ids in first-appearance order, aligned to codes.
+        group_of_label: dict[str, int] = {}
+        per_code = np.empty(domain.size, dtype=np.int64)
+        for row_index, label in enumerate(labels):
+            group = group_of_label.setdefault(label, len(group_of_label))
+            per_code[codes[row_index]] = group
+        group_maps.append(per_code)
+    return ValueHierarchy(domain, group_maps)

@@ -1,0 +1,120 @@
+"""Value generalization hierarchies (VGH).
+
+Non-perturbative SDC methods (global recoding, top/bottom coding) replace
+categories by more general ones.  A :class:`ValueHierarchy` captures the
+ladder of generalizations for one attribute: level 0 is the original
+domain, each higher level merges categories into coarser groups, and the
+top level typically collapses everything into a single group.
+
+Because the paper's GA requires every protected file to stay inside the
+*original* domains (its mutation operator resamples among the "valid
+values for the specific variable"), a recoded file represents each merged
+group by one *existing* category of the group (its mode or median in the
+original data) rather than by a new generalized label.  The hierarchy
+object itself is representation-free; the choice of representative lives
+in :mod:`repro.methods.global_recoding`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.domain import CategoricalDomain
+from repro.exceptions import HierarchyError
+
+
+class ValueHierarchy:
+    """A ladder of coarsenings over one attribute domain.
+
+    Parameters
+    ----------
+    domain:
+        The attribute's original domain.
+    group_maps:
+        One entry per generalization level above 0.  Entry ``l`` is an
+        integer array of length ``domain.size`` assigning each original
+        category code to a group id at level ``l + 1``.  Group ids must
+        be ``0..n_groups-1`` and each level must *coarsen* the previous
+        one (two codes grouped together stay together at higher levels).
+    """
+
+    __slots__ = ("domain", "group_maps")
+
+    def __init__(self, domain: CategoricalDomain, group_maps: Sequence[np.ndarray]) -> None:
+        maps = []
+        previous = np.arange(domain.size)
+        for level, raw in enumerate(group_maps, start=1):
+            arr = np.asarray(raw, dtype=np.int64)
+            if arr.shape != (domain.size,):
+                raise HierarchyError(
+                    f"level {level} map for {domain.name!r} has shape {arr.shape}, "
+                    f"expected ({domain.size},)"
+                )
+            n_groups = int(arr.max()) + 1 if arr.size else 0
+            if arr.min() < 0 or sorted(set(arr.tolist())) != list(range(n_groups)):
+                raise HierarchyError(
+                    f"level {level} map for {domain.name!r} must use contiguous group ids 0..k-1"
+                )
+            if n_groups > len(set(previous.tolist())):
+                raise HierarchyError(
+                    f"level {level} of {domain.name!r} has more groups than level {level - 1}"
+                )
+            # Coarsening check: codes sharing a group at the previous level
+            # must share a group at this level.
+            for group in range(int(previous.max()) + 1):
+                members = np.where(previous == group)[0]
+                if members.size and len(set(arr[members].tolist())) != 1:
+                    raise HierarchyError(
+                        f"level {level} of {domain.name!r} splits a level-{level - 1} group"
+                    )
+            maps.append(arr)
+            previous = arr
+        self.domain = domain
+        self.group_maps = tuple(maps)
+
+    @property
+    def n_levels(self) -> int:
+        """Number of levels including level 0 (the original domain)."""
+        return len(self.group_maps) + 1
+
+    def n_groups(self, level: int) -> int:
+        """Number of distinct groups at ``level`` (level 0 = domain size)."""
+        self._check_level(level)
+        if level == 0:
+            return self.domain.size
+        return int(self.group_maps[level - 1].max()) + 1
+
+    def group_of(self, level: int) -> np.ndarray:
+        """Array mapping each original code to its group id at ``level``."""
+        self._check_level(level)
+        if level == 0:
+            return np.arange(self.domain.size)
+        return self.group_maps[level - 1]
+
+    def members(self, level: int, group: int) -> np.ndarray:
+        """Original category codes belonging to ``group`` at ``level``."""
+        groups = self.group_of(level)
+        members = np.where(groups == group)[0]
+        if members.size == 0:
+            raise HierarchyError(f"group {group} does not exist at level {level}")
+        return members
+
+    def generalize_codes(self, codes: np.ndarray, level: int) -> np.ndarray:
+        """Map a vector of category codes to group ids at ``level``."""
+        groups = self.group_of(level)
+        arr = np.asarray(codes, dtype=np.int64)
+        self.domain.validate_codes(arr)
+        return groups[arr]
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.n_levels:
+            raise HierarchyError(
+                f"level {level} out of range for {self.domain.name!r} "
+                f"(hierarchy has {self.n_levels} levels)"
+            )
+
+    def __repr__(self) -> str:
+        sizes = "->".join(str(self.n_groups(level)) for level in range(self.n_levels))
+        return f"ValueHierarchy({self.domain.name!r}, {sizes})"

@@ -1,0 +1,94 @@
+"""Blocking: restricting linkage to candidate pairs sharing a block key.
+
+All-pairs linkage is quadratic in the record count.  Real linkage
+systems first partition records into *blocks* (records agreeing on a
+blocking attribute) and only compare pairs within a block.  The library's
+risk measures default to exhaustive comparison (the paper's setting, at
+paper-scale files), but :func:`blocked_candidate_pairs` lets users run
+the same measures on much larger files, trading a little recall for a
+large speedup; :func:`blocking_recall` quantifies that trade.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.validation import require_attributes, require_masked_pair
+from repro.exceptions import LinkageError
+
+
+def blocked_candidate_pairs(
+    original: CategoricalDataset,
+    masked: CategoricalDataset,
+    blocking_attribute: str,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(original_rows, masked_rows)`` index arrays per block.
+
+    A block is one category of ``blocking_attribute``; the yielded pair
+    lists the original and masked records carrying that category.  Blocks
+    empty on either side are skipped.
+    """
+    require_masked_pair(original, masked)
+    (column,) = require_attributes(original, [blocking_attribute])
+    domain = original.schema.domain(column)
+    x = original.column(column)
+    y = masked.column(column)
+    for category in range(domain.size):
+        original_rows = np.where(x == category)[0]
+        masked_rows = np.where(y == category)[0]
+        if original_rows.size and masked_rows.size:
+            yield original_rows, masked_rows
+
+
+def blocking_recall(
+    original: CategoricalDataset,
+    masked: CategoricalDataset,
+    blocking_attribute: str,
+) -> float:
+    """Fraction of true matches surviving blocking (0..1).
+
+    A true match (record ``i`` with its own masked version) survives iff
+    both copies fall in the same block, i.e. the masked file kept the
+    blocking attribute's value.
+    """
+    require_masked_pair(original, masked)
+    (column,) = require_attributes(original, [blocking_attribute])
+    agree = original.column(column) == masked.column(column)
+    return float(agree.mean())
+
+
+def blocked_linkage_rate(
+    original: CategoricalDataset,
+    masked: CategoricalDataset,
+    attributes: Sequence[str],
+    blocking_attribute: str,
+) -> float:
+    """Distance-based linkage run block-by-block (0..100).
+
+    Within each block, each original record links to the nearest masked
+    record of the same block (fractional tie credit); records whose true
+    match fell outside their block can never link correctly, so the rate
+    is bounded by ``100 * blocking_recall``.
+    """
+    from repro.linkage.distance import cross_distance_matrix  # local: avoid cycle
+
+    require_masked_pair(original, masked)
+    columns = require_attributes(original, attributes)
+    if not columns:
+        raise LinkageError("blocked linkage needs at least one attribute")
+
+    full_distances = cross_distance_matrix(original, masked, attributes)
+    correct = 0.0
+    for original_rows, masked_rows in blocked_candidate_pairs(original, masked, blocking_attribute):
+        sub = full_distances[np.ix_(original_rows, masked_rows)]
+        best = sub.min(axis=1)
+        at_best = sub == best[:, None]
+        ties = at_best.sum(axis=1)
+        for slot, row in enumerate(original_rows):
+            matches = masked_rows[at_best[slot]]
+            if row in matches:
+                correct += 1.0 / ties[slot]
+    return 100.0 * correct / original.n_records

@@ -1,0 +1,145 @@
+"""Probabilistic record linkage (Fellegi–Sunter with EM estimation).
+
+The intruder compares every (original, masked) record pair on the
+quasi-identifier attributes, producing a binary *agreement pattern*.
+Under the Fellegi–Sunter model, attribute ``k`` agrees with probability
+``m_k`` among true matches and ``u_k`` among non-matches; the matching
+weight of a pattern is the log-likelihood ratio
+
+    w(pattern) = sum_k  log(m_k / u_k)            if attribute k agrees
+                      + log((1-m_k) / (1-u_k))    if it disagrees.
+
+``m``, ``u`` and the match proportion are estimated by EM over the
+pattern counts (the intruder does not know the true matching), then each
+original record is linked to the masked record with the highest weight.
+The measure is the percentage of records whose true match wins, with
+fractional credit on ties as in :mod:`repro.linkage.dbrl`.
+
+Since the weight of a pair depends only on its agreement pattern, all
+computations aggregate over the ``2^a`` patterns instead of the ``n^2``
+pairs, which keeps EM instant even for thousands of records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.validation import require_attributes, require_masked_pair
+from repro.exceptions import LinkageError
+from repro.linkage.dbrl import fractional_correct_links
+
+_EPS = 1e-9
+
+
+def agreement_pattern_matrix(
+    original: CategoricalDataset,
+    masked: CategoricalDataset,
+    attributes: Sequence[str],
+) -> np.ndarray:
+    """Pattern index of every record pair, shape ``(n, n)``, dtype int.
+
+    Attribute ``k`` (in ``attributes`` order) contributes bit ``k``:
+    the bit is set when the pair *agrees* on that attribute.
+    """
+    require_masked_pair(original, masked)
+    columns = require_attributes(original, attributes)
+    if not columns:
+        raise LinkageError("agreement patterns need at least one attribute")
+    if len(columns) > 20:
+        raise LinkageError(f"too many attributes for pattern encoding: {len(columns)}")
+    n = original.n_records
+    patterns = np.zeros((n, n), dtype=np.int64)
+    for bit, col in enumerate(columns):
+        agree = original.column(col)[:, None] == masked.column(col)[None, :]
+        patterns |= agree.astype(np.int64) << bit
+    return patterns
+
+
+@dataclass(frozen=True)
+class FellegiSunterModel:
+    """Estimated Fellegi–Sunter parameters and per-pattern weights."""
+
+    m: np.ndarray
+    u: np.ndarray
+    match_proportion: float
+    pattern_weights: np.ndarray
+
+    @property
+    def n_attributes(self) -> int:
+        return self.m.shape[0]
+
+
+def _pattern_bits(n_attributes: int) -> np.ndarray:
+    """Bit matrix: ``bits[p, k]`` is 1 iff pattern ``p`` agrees on attr ``k``."""
+    patterns = np.arange(2**n_attributes)
+    return (patterns[:, None] >> np.arange(n_attributes)[None, :]) & 1
+
+
+def fit_fellegi_sunter(
+    pattern_counts: np.ndarray,
+    n_attributes: int,
+    max_iterations: int = 200,
+    tolerance: float = 1e-8,
+) -> FellegiSunterModel:
+    """EM fit of the Fellegi–Sunter mixture from aggregated pattern counts."""
+    counts = np.asarray(pattern_counts, dtype=np.float64)
+    if counts.shape != (2**n_attributes,):
+        raise LinkageError(
+            f"expected {2**n_attributes} pattern counts, got shape {counts.shape}"
+        )
+    total = counts.sum()
+    if total <= 0:
+        raise LinkageError("no record pairs to fit")
+    bits = _pattern_bits(n_attributes).astype(np.float64)
+
+    # Initialization: matches agree often, non-matches rarely.
+    m = np.full(n_attributes, 0.9)
+    u = np.full(n_attributes, 0.1)
+    match_proportion = 0.01
+
+    previous_loglik = -np.inf
+    for _ in range(max_iterations):
+        log_m = bits @ np.log(m + _EPS) + (1 - bits) @ np.log(1 - m + _EPS)
+        log_u = bits @ np.log(u + _EPS) + (1 - bits) @ np.log(1 - u + _EPS)
+        match_term = match_proportion * np.exp(log_m)
+        nonmatch_term = (1 - match_proportion) * np.exp(log_u)
+        denominator = match_term + nonmatch_term + _EPS
+        responsibility = match_term / denominator
+
+        weighted = counts * responsibility
+        weight_total = weighted.sum()
+        if weight_total <= _EPS or total - weight_total <= _EPS:
+            break
+        m = np.clip((weighted @ bits) / weight_total, _EPS, 1 - _EPS)
+        u = np.clip(((counts - weighted) @ bits) / (total - weight_total), _EPS, 1 - _EPS)
+        match_proportion = float(np.clip(weight_total / total, _EPS, 1 - _EPS))
+
+        loglik = float((counts * np.log(denominator)).sum())
+        if abs(loglik - previous_loglik) < tolerance * (1 + abs(previous_loglik)):
+            break
+        previous_loglik = loglik
+
+    weights = (
+        bits @ (np.log(m + _EPS) - np.log(u + _EPS))
+        + (1 - bits) @ (np.log(1 - m + _EPS) - np.log(1 - u + _EPS))
+    )
+    return FellegiSunterModel(m=m, u=u, match_proportion=match_proportion, pattern_weights=weights)
+
+
+def probabilistic_record_linkage(
+    original: CategoricalDataset,
+    masked: CategoricalDataset,
+    attributes: Sequence[str],
+) -> float:
+    """Percentage of records re-identified by Fellegi–Sunter linkage (0..100)."""
+    patterns = agreement_pattern_matrix(original, masked, attributes)
+    n_attributes = len(attributes)
+    counts = np.bincount(patterns.ravel(), minlength=2**n_attributes)
+    model = fit_fellegi_sunter(counts, n_attributes)
+    weights = model.pattern_weights[patterns]
+    correct = fractional_correct_links(weights, best_is_max=True)
+    return 100.0 * correct / original.n_records

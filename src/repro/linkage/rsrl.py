@@ -1,0 +1,62 @@
+"""Rank-swapping record linkage (Nin, Herranz & Torra, 2008).
+
+Plain distance-based linkage underestimates the risk of rank-swapped
+files: the intruder *knows* rank swapping moves a value at most ``p``
+percent of ranks away, so for each masked value only the original
+records whose value rank lies inside that window are plausible matches.
+RSRL exploits this: a pair is *compatible* on an attribute when the rank
+positions of its two values differ by at most the window, the pair's
+score is the number of compatible attributes, and each original record
+links to the masked record with the highest score (fractional credit on
+ties, as everywhere in :mod:`repro.linkage`).
+
+The measure takes the window as a parameter; an intruder who does not
+know the exact swap parameter uses a conservative default.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.validation import require_attributes, require_masked_pair
+from repro.exceptions import LinkageError
+from repro.linkage.dbrl import fractional_correct_links
+from repro.linkage.distance import rank_positions
+
+
+def rank_compatibility_scores(
+    original: CategoricalDataset,
+    masked: CategoricalDataset,
+    attributes: Sequence[str],
+    window: float,
+) -> np.ndarray:
+    """Number of rank-compatible attributes for every pair, shape ``(n, n)``."""
+    require_masked_pair(original, masked)
+    columns = require_attributes(original, attributes)
+    if not columns:
+        raise LinkageError("rank compatibility needs at least one attribute")
+    if not 0 < window <= 1:
+        raise LinkageError(f"window must be in (0, 1], got {window}")
+    n = original.n_records
+    scores = np.zeros((n, n), dtype=np.int64)
+    for col in columns:
+        positions = rank_positions(original, original.schema.domain(col).name)
+        x = positions[original.column(col)][:, None]
+        y = positions[masked.column(col)][None, :]
+        scores += (np.abs(x - y) <= window).astype(np.int64)
+    return scores
+
+
+def rank_swapping_record_linkage(
+    original: CategoricalDataset,
+    masked: CategoricalDataset,
+    attributes: Sequence[str],
+    window: float = 0.1,
+) -> float:
+    """Percentage of records re-identified by rank-window linkage (0..100)."""
+    scores = rank_compatibility_scores(original, masked, attributes, window)
+    correct = fractional_correct_links(scores.astype(np.float64), best_is_max=True)
+    return 100.0 * correct / original.n_records

@@ -1,0 +1,36 @@
+"""SDC protection methods for categorical microdata."""
+
+from repro.methods.base import MethodRegistry, ProtectionMethod, registry
+from repro.methods.global_recoding import GlobalRecoding
+from repro.methods.mdav import MdavMicroaggregation
+from repro.methods.microaggregation import Microaggregation
+from repro.methods.pipeline import ProtectionPipeline
+from repro.methods.pram import (
+    InvariantPram,
+    Pram,
+    apply_transition_matrix,
+    basic_transition_matrix,
+    invariant_transition_matrix,
+)
+from repro.methods.rank_swapping import RankSwapping
+from repro.methods.suppression import LocalSuppression
+from repro.methods.top_bottom_coding import BottomCoding, TopCoding
+
+__all__ = [
+    "MethodRegistry",
+    "ProtectionMethod",
+    "registry",
+    "Microaggregation",
+    "MdavMicroaggregation",
+    "RankSwapping",
+    "Pram",
+    "InvariantPram",
+    "TopCoding",
+    "BottomCoding",
+    "GlobalRecoding",
+    "LocalSuppression",
+    "ProtectionPipeline",
+    "apply_transition_matrix",
+    "basic_transition_matrix",
+    "invariant_transition_matrix",
+]

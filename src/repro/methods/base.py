@@ -1,0 +1,111 @@
+"""Protection method interface.
+
+A protection method transforms an original microdata file into a masked
+(protected) one.  Following the paper's experimental setup, a method is
+applied to a subset of *protected attributes*; all other attributes pass
+through unchanged.  Every masked file keeps the original schema — masked
+values are always existing categories of the attribute's domain — which
+is the invariant the GA's operators rely on.
+
+Methods are configured at construction and applied with
+:meth:`ProtectionMethod.protect`; stochastic methods draw all randomness
+from the ``seed`` argument so protections are reproducible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.validation import require_attributes
+from repro.exceptions import ProtectionError
+from repro.utils.rng import as_generator
+
+
+class ProtectionMethod(ABC):
+    """Base class for SDC protection methods on categorical microdata."""
+
+    #: Short machine name used by registries and reports (e.g. ``"pram"``).
+    method_name: str = "abstract"
+
+    @abstractmethod
+    def protect_column(
+        self,
+        dataset: CategoricalDataset,
+        column: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return masked codes for one column of ``dataset``.
+
+        Implementations must return a fresh integer array of length
+        ``dataset.n_records`` whose entries are valid codes of the
+        column's domain.
+        """
+
+    def protect(
+        self,
+        original: CategoricalDataset,
+        attributes: Sequence[str],
+        seed: int | np.random.Generator | None = None,
+        name: str | None = None,
+    ) -> CategoricalDataset:
+        """Mask ``attributes`` of ``original`` and return the protected file."""
+        if not attributes:
+            raise ProtectionError("protect() needs at least one attribute")
+        columns = require_attributes(original, attributes)
+        rng = as_generator(seed)
+        codes = original.codes_copy()
+        for column in columns:
+            masked = np.asarray(self.protect_column(original, column, rng), dtype=np.int64)
+            if masked.shape != (original.n_records,):
+                raise ProtectionError(
+                    f"{self.method_name}: column protector returned shape {masked.shape}, "
+                    f"expected ({original.n_records},)"
+                )
+            original.schema.domain(column).validate_codes(masked)
+            codes[:, column] = masked
+        label = name if name is not None else f"{original.name}:{self.describe()}"
+        return original.with_codes(codes, name=label)
+
+    def describe(self) -> str:
+        """One-line parameterization summary used in protection names."""
+        return self.method_name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()!r})"
+
+
+class MethodRegistry:
+    """Name -> factory registry so harnesses can build methods from specs."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, type[ProtectionMethod]] = {}
+
+    def register(self, cls: type[ProtectionMethod]) -> type[ProtectionMethod]:
+        """Register ``cls`` under its ``method_name`` (decorator-friendly)."""
+        key = cls.method_name
+        if key in self._factories:
+            raise ProtectionError(f"method {key!r} already registered")
+        self._factories[key] = cls
+        return cls
+
+    def create(self, name: str, **params: object) -> ProtectionMethod:
+        """Instantiate the method registered under ``name``."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise ProtectionError(
+                f"unknown method {name!r}; registered: {sorted(self._factories)}"
+            ) from None
+        return factory(**params)  # type: ignore[arg-type]
+
+    def names(self) -> list[str]:
+        """Registered method names, sorted."""
+        return sorted(self._factories)
+
+
+#: Global registry used by :mod:`repro.experiments.population_builder`.
+registry = MethodRegistry()

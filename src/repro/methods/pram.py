@@ -1,0 +1,132 @@
+"""Post Randomization Method — PRAM (Gouweleeuw et al., 1998).
+
+PRAM masks a categorical attribute by sending each value through a Markov
+transition matrix ``R``: a record with category ``i`` is published with
+category ``j`` with probability ``R[i, j]``.  Two constructions are
+provided:
+
+* :class:`Pram` — the basic construction: every category keeps its value
+  with probability ``1 - theta`` and otherwise moves to a different
+  category drawn proportionally to the attribute's marginal frequencies
+  (rare categories attract few transitions, mirroring common practice).
+* :class:`InvariantPram` — the *invariant* refinement of the original
+  paper: the transition matrix additionally satisfies ``p R = p`` for the
+  marginal vector ``p``, so the expected published marginals equal the
+  original ones.  The matrix is built with the standard two-stage
+  construction ``R = Q diag(p)^{-1} Q^T diag(p)``-style symmetrization;
+  we use the classical result that ``R_inv[i, j] = p[j] R[k->j]``-mixing
+  via Bayes reversal of the basic matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.exceptions import ProtectionError
+from repro.methods.base import ProtectionMethod, registry
+
+
+def basic_transition_matrix(frequencies: np.ndarray, theta: float) -> np.ndarray:
+    """Basic PRAM matrix: stay with prob ``1-theta``, else move by frequency.
+
+    ``frequencies`` is the attribute's category count vector; rows of the
+    result sum to 1.
+    """
+    if not 0 < theta < 1:
+        raise ProtectionError(f"PRAM needs 0 < theta < 1, got {theta}")
+    counts = np.asarray(frequencies, dtype=np.float64)
+    if counts.ndim != 1 or counts.size < 1:
+        raise ProtectionError("frequencies must be a non-empty vector")
+    k = counts.size
+    if k == 1:
+        return np.ones((1, 1))
+    total = counts.sum()
+    if total <= 0:
+        probs = np.full(k, 1.0 / k)
+    else:
+        # Smooth zero-frequency categories so every transition is possible.
+        probs = (counts + 1.0) / (total + k)
+    matrix = np.empty((k, k), dtype=np.float64)
+    for i in range(k):
+        off = probs.copy()
+        off[i] = 0.0
+        off_total = off.sum()
+        row = theta * off / off_total
+        row[i] = 1.0 - theta
+        matrix[i] = row
+    return matrix
+
+
+def invariant_transition_matrix(frequencies: np.ndarray, theta: float) -> np.ndarray:
+    """Invariant PRAM matrix: satisfies ``p R = p`` for the marginal ``p``.
+
+    Built with the classical two-stage construction: apply the basic
+    matrix ``R0``, then its Bayes reversal ``R0*[j, i] = p_i R0[i, j] /
+    (p R0)_j``; the product ``R = R0 R0*`` is a valid transition matrix
+    with invariant distribution ``p``.
+    """
+    counts = np.asarray(frequencies, dtype=np.float64)
+    k = counts.size
+    if k == 1:
+        return np.ones((1, 1))
+    total = counts.sum()
+    p = (counts + 1.0) / (total + k)
+    r0 = basic_transition_matrix(counts, theta)
+    published = p @ r0
+    reversal = (p[:, None] * r0) / published[None, :]
+    matrix = r0 @ reversal.T
+    # Normalize away floating-point drift.
+    matrix /= matrix.sum(axis=1, keepdims=True)
+    return matrix
+
+
+def apply_transition_matrix(values: np.ndarray, matrix: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Draw a published code for every value through ``matrix`` rows."""
+    arr = np.asarray(values, dtype=np.int64)
+    k = matrix.shape[0]
+    if matrix.shape != (k, k):
+        raise ProtectionError(f"transition matrix must be square, got {matrix.shape}")
+    if arr.size and (arr.min() < 0 or arr.max() >= k):
+        raise ProtectionError("values outside transition matrix range")
+    cdfs = np.cumsum(matrix, axis=1)
+    cdfs[:, -1] = 1.0
+    u = rng.uniform(size=arr.shape[0])
+    return (cdfs[arr] < u[:, None]).sum(axis=1).clip(0, k - 1).astype(np.int64)
+
+
+class Pram(ProtectionMethod):
+    """Basic PRAM with overall change probability ``theta``."""
+
+    method_name = "pram"
+
+    def __init__(self, theta: float = 0.2) -> None:
+        if not 0 < theta < 1:
+            raise ProtectionError(f"PRAM needs 0 < theta < 1, got {theta}")
+        self.theta = float(theta)
+
+    def describe(self) -> str:
+        return f"pram(theta={self.theta:g})"
+
+    def _matrix(self, dataset: CategoricalDataset, column: int) -> np.ndarray:
+        return basic_transition_matrix(dataset.value_counts(column), self.theta)
+
+    def protect_column(self, dataset: CategoricalDataset, column: int, rng: np.random.Generator) -> np.ndarray:
+        matrix = self._matrix(dataset, column)
+        return apply_transition_matrix(dataset.column(column), matrix, rng)
+
+
+class InvariantPram(Pram):
+    """Invariant PRAM: expected published marginals equal the originals."""
+
+    method_name = "invariant_pram"
+
+    def describe(self) -> str:
+        return f"ipram(theta={self.theta:g})"
+
+    def _matrix(self, dataset: CategoricalDataset, column: int) -> np.ndarray:
+        return invariant_transition_matrix(dataset.value_counts(column), self.theta)
+
+
+registry.register(Pram)
+registry.register(InvariantPram)

@@ -1,0 +1,67 @@
+"""Local suppression (extension beyond the paper's method set).
+
+Local suppression blanks individual risky cells.  Because the library
+keeps every protected file inside the original domains, a "suppressed"
+cell is published as the attribute's *modal* category — the least
+informative in-domain value — rather than a missing-value token.  Cells
+are chosen either uniformly at random or rarest-first (rare values carry
+the highest re-identification risk).
+
+This method is not part of the paper's initial populations; it exists so
+users can extend the population mix, and it doubles as a stress-test
+protection in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.exceptions import ProtectionError
+from repro.methods.base import ProtectionMethod, registry
+
+
+class LocalSuppression(ProtectionMethod):
+    """Replace a fraction of cells with the attribute's modal category.
+
+    Parameters
+    ----------
+    fraction:
+        Fraction of records whose cell is suppressed per attribute.
+    target:
+        ``"random"`` suppresses uniformly chosen cells, ``"rarest"``
+        suppresses the cells holding the rarest categories first.
+    """
+
+    method_name = "local_suppression"
+
+    def __init__(self, fraction: float = 0.1, target: str = "random") -> None:
+        if not 0 < fraction <= 1:
+            raise ProtectionError(f"suppression needs 0 < fraction <= 1, got {fraction}")
+        if target not in ("random", "rarest"):
+            raise ProtectionError(f"unknown target {target!r}")
+        self.fraction = float(fraction)
+        self.target = target
+
+    def describe(self) -> str:
+        return f"suppress(f={self.fraction:g},{self.target})"
+
+    def protect_column(self, dataset: CategoricalDataset, column: int, rng: np.random.Generator) -> np.ndarray:
+        values = dataset.column(column).copy()
+        n = values.shape[0]
+        n_suppress = max(1, int(round(n * self.fraction)))
+        counts = dataset.value_counts(column)
+        mode = int(np.argmax(counts))
+        if self.target == "random":
+            rows = rng.choice(n, size=min(n_suppress, n), replace=False)
+        else:
+            # Rarest-first: order rows by their value's frequency with a
+            # random tie-break, suppress the head of that order.
+            tiebreak = rng.permutation(n)
+            order = np.lexsort((tiebreak, counts[values]))
+            rows = order[:n_suppress]
+        values[rows] = mode
+        return values
+
+
+registry.register(LocalSuppression)

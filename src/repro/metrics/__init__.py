@@ -1,0 +1,65 @@
+"""Information loss, disclosure risk and score aggregation."""
+
+from repro.metrics.anonymity import (
+    AttributeDisclosureRisk,
+    UniquenessRisk,
+    equivalence_class_sizes,
+    k_anonymity_level,
+    l_diversity_level,
+    sample_uniques_share,
+)
+from repro.metrics.base import BoundMeasure, DisclosureRiskMeasure, InformationLossMeasure
+from repro.metrics.contingency import ContingencyTableLoss, contingency_counts
+from repro.metrics.distance_il import DistanceBasedLoss
+from repro.metrics.entropy_il import EntropyBasedLoss, conditional_entropy_bits
+from repro.metrics.evaluation import (
+    ProtectionEvaluator,
+    ProtectionScore,
+    default_dr_measures,
+    default_il_measures,
+)
+from repro.metrics.interval_disclosure import IntervalDisclosure
+from repro.metrics.linkage_risk import (
+    DistanceLinkageRisk,
+    ProbabilisticLinkageRisk,
+    RankSwappingLinkageRisk,
+)
+from repro.metrics.score import (
+    MaxScore,
+    MeanScore,
+    PowerMeanScore,
+    ScoreFunction,
+    WeightedScore,
+    score_function_by_name,
+)
+
+__all__ = [
+    "BoundMeasure",
+    "InformationLossMeasure",
+    "DisclosureRiskMeasure",
+    "ContingencyTableLoss",
+    "contingency_counts",
+    "DistanceBasedLoss",
+    "EntropyBasedLoss",
+    "conditional_entropy_bits",
+    "IntervalDisclosure",
+    "DistanceLinkageRisk",
+    "ProbabilisticLinkageRisk",
+    "RankSwappingLinkageRisk",
+    "ScoreFunction",
+    "MeanScore",
+    "MaxScore",
+    "WeightedScore",
+    "PowerMeanScore",
+    "score_function_by_name",
+    "ProtectionEvaluator",
+    "ProtectionScore",
+    "default_il_measures",
+    "default_dr_measures",
+    "UniquenessRisk",
+    "AttributeDisclosureRisk",
+    "k_anonymity_level",
+    "l_diversity_level",
+    "sample_uniques_share",
+    "equivalence_class_sizes",
+]

@@ -1,0 +1,61 @@
+"""Measure interfaces.
+
+A *bound measure* is constructed once against the original file and the
+quasi-identifier attributes, precomputing whatever geometry it needs
+(contingency subsets, rank positions, frequency tables), and is then
+evaluated against many masked candidates — exactly the access pattern of
+the GA, which scores thousands of protected files of the same original.
+
+All measures return percentages in ``[0, 100]``: 0 is the identity
+masking for information loss and "no record re-identified / no value
+leaked" for disclosure risk.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.validation import require_attributes, require_masked_pair
+from repro.exceptions import MetricError
+
+
+class BoundMeasure(ABC):
+    """A measure bound to one original file and attribute set."""
+
+    #: Short name used in component breakdowns (e.g. ``"ctbil"``).
+    measure_name: str = "abstract"
+
+    def __init__(self, original: CategoricalDataset, attributes: Sequence[str]) -> None:
+        if not attributes:
+            raise MetricError(f"{self.measure_name}: needs at least one attribute")
+        self.original = original
+        self.attributes = tuple(attributes)
+        self.columns = tuple(require_attributes(original, attributes))
+
+    @abstractmethod
+    def _compute(self, masked: CategoricalDataset) -> float:
+        """Measure value for ``masked`` (already validated); in [0, 100]."""
+
+    def compute(self, masked: CategoricalDataset) -> float:
+        """Measure value in ``[0, 100]`` for a masked pair of the original."""
+        require_masked_pair(self.original, masked)
+        value = float(self._compute(masked))
+        # Clamp floating-point drift; genuinely out-of-range or non-finite
+        # values are bugs in the measure and must not leak into fitness.
+        if not math.isfinite(value) or value < -1e-6 or value > 100.0 + 1e-6:
+            raise MetricError(f"{self.measure_name}: value {value} outside [0, 100]")
+        return min(100.0, max(0.0, value))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(attributes={list(self.attributes)})"
+
+
+class InformationLossMeasure(BoundMeasure):
+    """Marker base class: how much analytic utility the masking destroyed."""
+
+
+class DisclosureRiskMeasure(BoundMeasure):
+    """Marker base class: how much an intruder learns from the masked file."""

@@ -1,0 +1,84 @@
+"""Contingency-table-based information loss — CTBIL.
+
+Categorical analyses are built on contingency tables, so the canonical
+utility measure for categorical maskings (Domingo-Ferrer & Torra, 2001 —
+the paper's reference [8]) compares the original and masked contingency
+tables for every attribute subset up to a maximum order and accumulates
+the absolute cell differences:
+
+    CTBIL = sum over subsets S, |S| <= K  of  sum over cells |TO_c - TM_c|
+
+We normalize to a percentage: each subset's table can differ by at most
+``2n`` in total absolute mass (all records moved cells), so the reported
+value is ``100 * CTBIL / (2 n * #subsets)``.
+
+Cell counting uses a mixed-radix encoding of each record's category tuple
+followed by a ``bincount``, so a table of any order is one vectorized
+pass over the records.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import combinations
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.exceptions import MetricError
+from repro.metrics.base import InformationLossMeasure
+
+#: Refuse to allocate count vectors beyond this many cells per subset.
+_MAX_TABLE_CELLS = 5_000_000
+
+
+def contingency_counts(dataset: CategoricalDataset, columns: Sequence[int]) -> np.ndarray:
+    """Flattened contingency table over ``columns`` (mixed-radix bincount)."""
+    if not columns:
+        raise MetricError("contingency table needs at least one column")
+    sizes = [dataset.schema.domain(c).size for c in columns]
+    n_cells = 1
+    for size in sizes:
+        n_cells *= size  # Python ints: no int64 overflow for huge tables
+    if n_cells > _MAX_TABLE_CELLS:
+        raise MetricError(
+            f"contingency table over columns {list(columns)} has {n_cells} cells "
+            f"(limit {_MAX_TABLE_CELLS}); lower max_order"
+        )
+    flat = np.zeros(dataset.n_records, dtype=np.int64)
+    for column, size in zip(columns, sizes):
+        flat = flat * size + dataset.column(column)
+    return np.bincount(flat, minlength=n_cells)
+
+
+class ContingencyTableLoss(InformationLossMeasure):
+    """CTBIL over all attribute subsets of size ``1..max_order``."""
+
+    measure_name = "ctbil"
+
+    def __init__(
+        self,
+        original: CategoricalDataset,
+        attributes: Sequence[str],
+        max_order: int = 2,
+    ) -> None:
+        super().__init__(original, attributes)
+        if max_order < 1:
+            raise MetricError(f"max_order must be >= 1, got {max_order}")
+        self.max_order = min(max_order, len(self.columns))
+        self._subsets = [
+            subset
+            for order in range(1, self.max_order + 1)
+            for subset in combinations(self.columns, order)
+        ]
+        self._original_tables = [
+            contingency_counts(original, subset) for subset in self._subsets
+        ]
+
+    def _compute(self, masked: CategoricalDataset) -> float:
+        total = 0.0
+        for subset, original_table in zip(self._subsets, self._original_tables):
+            masked_table = contingency_counts(masked, subset)
+            total += float(np.abs(original_table - masked_table).sum())
+        ceiling = 2.0 * self.original.n_records * len(self._subsets)
+        return 100.0 * total / ceiling

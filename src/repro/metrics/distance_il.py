@@ -1,0 +1,32 @@
+"""Distance-based information loss — DBIL.
+
+The most direct utility measure (Domingo-Ferrer & Torra, 2001 — paper
+reference [8]): the average distance between each record and its masked
+version.  Per-attribute distances are categorical (0/1 nominal,
+normalized code difference for ordinal — see
+:mod:`repro.linkage.distance`), averaged over attributes and records and
+reported as a percentage.  The identity masking scores exactly 0; a
+masking that moves every nominal value (or every ordinal value across
+the full domain) scores 100.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.data.dataset import CategoricalDataset
+from repro.linkage.distance import attribute_distance_columns
+from repro.metrics.base import InformationLossMeasure
+
+
+class DistanceBasedLoss(InformationLossMeasure):
+    """Mean per-record masking distance, as a percentage."""
+
+    measure_name = "dbil"
+
+    def __init__(self, original: CategoricalDataset, attributes: Sequence[str]) -> None:
+        super().__init__(original, attributes)
+
+    def _compute(self, masked: CategoricalDataset) -> float:
+        distances = attribute_distance_columns(self.original, masked, self.attributes)
+        return 100.0 * float(distances.mean())

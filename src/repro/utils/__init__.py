@@ -1,0 +1,7 @@
+"""Small shared utilities: RNG plumbing, ASCII tables, timing helpers."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.tables import format_table
+from repro.utils.timing import Stopwatch
+
+__all__ = ["as_generator", "spawn_generators", "format_table", "Stopwatch"]

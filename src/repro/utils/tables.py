@@ -1,0 +1,40 @@
+"""Minimal ASCII table formatting for experiment reports.
+
+The experiment harness and benchmarks print the same rows the paper's
+figures plot; this module renders them in fixed-width text so the output
+is readable in a terminal and diff-able in CI logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _cell(value: object, width: int) -> str:
+    text = f"{value:.2f}" if isinstance(value, float) else str(value)
+    return text.rjust(width) if isinstance(value, (int, float)) else text.ljust(width)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table."""
+    str_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells but table has {len(headers)} headers")
+        str_rows.append([f"{v:.2f}" if isinstance(v, float) else str(v) for v in row])
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)

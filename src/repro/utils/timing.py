@@ -1,0 +1,51 @@
+"""Wall-clock timing helpers used by the engine and the timing benchmark."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulate wall-clock time across labelled sections.
+
+    Used by the GA engine to attribute generation time to fitness
+    evaluation versus the rest of the generation, mirroring the timing
+    breakdown reported at the end of the paper's section 3.2.
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+        self._started: dict[str, float] = {}
+
+    def start(self, label: str) -> None:
+        """Begin timing ``label``; nested starts of the same label are errors."""
+        if label in self._started:
+            raise ValueError(f"section {label!r} already started")
+        self._started[label] = time.perf_counter()
+
+    def stop(self, label: str) -> float:
+        """Stop timing ``label`` and return the elapsed seconds for this span."""
+        if label not in self._started:
+            raise ValueError(f"section {label!r} was never started")
+        elapsed = time.perf_counter() - self._started.pop(label)
+        self._totals[label] = self._totals.get(label, 0.0) + elapsed
+        self._counts[label] = self._counts.get(label, 0) + 1
+        return elapsed
+
+    def total(self, label: str) -> float:
+        """Total seconds accumulated under ``label`` (0.0 if never timed)."""
+        return self._totals.get(label, 0.0)
+
+    def count(self, label: str) -> int:
+        """Number of completed spans recorded under ``label``."""
+        return self._counts.get(label, 0)
+
+    def mean(self, label: str) -> float:
+        """Mean seconds per completed span of ``label`` (0.0 if none)."""
+        count = self._counts.get(label, 0)
+        return self._totals.get(label, 0.0) / count if count else 0.0
+
+    def labels(self) -> list[str]:
+        """All labels with at least one completed span, in insertion order."""
+        return list(self._totals)

@@ -1,0 +1,53 @@
+"""Shared fixtures: small hand-built datasets and paper datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CategoricalDataset, CategoricalDomain, DatasetSchema
+from repro.datasets import load_adult, load_flare
+
+
+@pytest.fixture(scope="session")
+def tiny_schema() -> DatasetSchema:
+    """Three attributes: nominal COLOR(3), ordinal SIZE(4), nominal SHAPE(2)."""
+    return DatasetSchema(
+        [
+            CategoricalDomain("COLOR", ["red", "green", "blue"]),
+            CategoricalDomain("SIZE", ["S", "M", "L", "XL"], ordinal=True),
+            CategoricalDomain("SHAPE", ["round", "square"]),
+        ]
+    )
+
+
+@pytest.fixture
+def tiny_dataset(tiny_schema: DatasetSchema) -> CategoricalDataset:
+    """12 records over the tiny schema, deterministic."""
+    rng = np.random.default_rng(7)
+    codes = np.column_stack(
+        [
+            rng.integers(0, 3, size=12),
+            rng.integers(0, 4, size=12),
+            rng.integers(0, 2, size=12),
+        ]
+    )
+    return CategoricalDataset(codes, tiny_schema, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def adult() -> CategoricalDataset:
+    """The synthetic Adult dataset (1000 x 8)."""
+    return load_adult()
+
+
+@pytest.fixture(scope="session")
+def flare() -> CategoricalDataset:
+    """The synthetic Solar Flare dataset (1066 x 13)."""
+    return load_flare()
+
+
+@pytest.fixture(scope="session")
+def small_adult(adult: CategoricalDataset) -> CategoricalDataset:
+    """First 120 Adult records — fast enough for linkage-heavy tests."""
+    return CategoricalDataset(adult.codes[:120], adult.schema, name="adult-small")

@@ -1,0 +1,133 @@
+"""Unit tests for the anonymity-set risk measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CategoricalDataset, CategoricalDomain, DatasetSchema
+from repro.exceptions import MetricError
+from repro.methods import Microaggregation, Pram
+from repro.metrics.anonymity import (
+    AttributeDisclosureRisk,
+    UniquenessRisk,
+    equivalence_class_sizes,
+    k_anonymity_level,
+    l_diversity_level,
+    sample_uniques_share,
+)
+
+ATTRS = ["EDUCATION", "MARITAL-STATUS", "OCCUPATION"]
+
+
+def hand_dataset():
+    """6 records, QI = (A, B), sensitive = S.
+
+    Classes: (a0,b0) x3, (a1,b1) x2, (a2,b0) x1  -> k = 1, uniques = 1/6.
+    """
+    schema = DatasetSchema(
+        [
+            CategoricalDomain("A", ["a0", "a1", "a2"]),
+            CategoricalDomain("B", ["b0", "b1"]),
+            CategoricalDomain("S", ["s0", "s1", "s2"]),
+        ]
+    )
+    rows = [
+        ["a0", "b0", "s0"],
+        ["a0", "b0", "s0"],
+        ["a0", "b0", "s1"],
+        ["a1", "b1", "s1"],
+        ["a1", "b1", "s2"],
+        ["a2", "b0", "s2"],
+    ]
+    return CategoricalDataset.from_labels(rows, schema)
+
+
+class TestKAnonymity:
+    def test_hand_example(self):
+        dataset = hand_dataset()
+        assert k_anonymity_level(dataset, ["A", "B"]) == 1
+        sizes = equivalence_class_sizes(dataset, ["A", "B"])
+        assert sorted(sizes.tolist()) == [1, 2, 2, 3, 3, 3]
+
+    def test_sample_uniques(self):
+        assert sample_uniques_share(hand_dataset(), ["A", "B"]) == pytest.approx(1 / 6)
+
+    def test_single_attribute_class_sizes_are_counts(self, adult):
+        sizes = equivalence_class_sizes(adult, ["SEX"])
+        counts = adult.value_counts("SEX")
+        assert set(np.unique(sizes)) <= set(counts.tolist())
+
+    def test_microaggregation_raises_k(self, adult):
+        masked = Microaggregation(k=10).protect(adult, ["EDUCATION"])
+        assert k_anonymity_level(masked, ["EDUCATION"]) >= k_anonymity_level(
+            adult, ["EDUCATION"]
+        )
+
+    def test_empty_attributes_rejected(self, adult):
+        with pytest.raises(MetricError):
+            k_anonymity_level(adult, [])
+
+
+class TestLDiversity:
+    def test_hand_example(self):
+        # Class (a0,b0) has {s0, s1} = 2; (a1,b1) has {s1, s2} = 2;
+        # (a2,b0) has {s2} = 1 -> l = 1.
+        assert l_diversity_level(hand_dataset(), ["A", "B"], "S") == 1
+
+    def test_l_bounded_by_domain(self, adult):
+        level = l_diversity_level(adult, ["SEX"], "RACE")
+        assert 1 <= level <= adult.domain("RACE").size
+
+
+class TestUniquenessRisk:
+    def test_identity_risk_matches_share(self, adult):
+        measure = UniquenessRisk(adult, ATTRS)
+        expected = 100.0 * sample_uniques_share(adult, ATTRS)
+        assert measure.compute(adult) == pytest.approx(expected)
+
+    def test_microaggregation_eliminates_single_attribute_uniques(self, adult):
+        # Per attribute, k=8 microaggregation publishes only categories
+        # covering >= 8 records, so single-attribute uniques vanish.  (Over
+        # *tuples* univariate microaggregation can create new rare combos,
+        # so no monotonicity is asserted there.)
+        masked = Microaggregation(k=8).protect(adult, ("EDUCATION",))
+        measure = UniquenessRisk(adult, ["EDUCATION"])
+        assert measure.compute(masked) == 0.0
+
+    def test_pluggable_into_evaluator(self, small_adult):
+        from repro.metrics import ProtectionEvaluator, default_dr_measures
+
+        dr = default_dr_measures(small_adult, ATTRS) + [UniquenessRisk(small_adult, ATTRS)]
+        evaluator = ProtectionEvaluator(small_adult, ATTRS, dr_measures=dr)
+        masked = Pram(theta=0.3).protect(small_adult, ATTRS, seed=0)
+        score = evaluator.evaluate(masked)
+        assert "uniqueness" in score.dr_components
+
+
+class TestAttributeDisclosure:
+    def test_identity_reveals_modal_rate(self):
+        dataset = hand_dataset()
+        measure = AttributeDisclosureRisk(dataset, ["A", "B"], sensitive="S")
+        # Identity: class (a0,b0) guess s0 -> 2/3 right; (a1,b1) guess s1 or
+        # s2 -> 1/2; (a2,b0) -> 1/1. Total = (2 + 1 + 1)/6.
+        assert measure.compute(dataset) == pytest.approx(100.0 * 4 / 6)
+
+    def test_full_generalization_floors_risk(self):
+        dataset = hand_dataset()
+        codes = dataset.codes_copy()
+        codes[:, 0] = 0
+        codes[:, 1] = 0
+        masked = dataset.with_codes(codes)
+        measure = AttributeDisclosureRisk(dataset, ["A", "B"], sensitive="S")
+        # One big class: guess the global mode (any of s0/s1/s2 with count 2).
+        assert measure.compute(masked) == pytest.approx(100.0 * 2 / 6)
+
+    def test_masking_cannot_exceed_identity_by_much(self, small_adult):
+        measure = AttributeDisclosureRisk(small_adult, ATTRS, sensitive="RACE")
+        masked = Pram(theta=0.4).protect(small_adult, ATTRS, seed=0)
+        assert 0.0 <= measure.compute(masked) <= 100.0
+
+    def test_sensitive_must_not_be_quasi_identifier(self, small_adult):
+        with pytest.raises(MetricError):
+            AttributeDisclosureRisk(small_adult, ATTRS, sensitive="EDUCATION")

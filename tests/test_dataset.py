@@ -1,0 +1,141 @@
+"""Unit tests for CategoricalDataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CategoricalDataset, CategoricalDomain, DatasetSchema
+from repro.exceptions import SchemaError
+
+
+class TestConstruction:
+    def test_shape_properties(self, tiny_dataset):
+        assert tiny_dataset.n_records == 12
+        assert tiny_dataset.n_attributes == 3
+        assert tiny_dataset.n_cells == 36
+        assert tiny_dataset.attribute_names == ("COLOR", "SIZE", "SHAPE")
+
+    def test_codes_are_read_only(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.codes[0, 0] = 1
+
+    def test_constructor_copies_input(self, tiny_schema):
+        codes = np.zeros((2, 3), dtype=np.int64)
+        dataset = CategoricalDataset(codes, tiny_schema)
+        codes[0, 0] = 2
+        assert dataset.codes[0, 0] == 0
+
+    def test_wrong_dimensionality_rejected(self, tiny_schema):
+        with pytest.raises(SchemaError):
+            CategoricalDataset(np.zeros(3, dtype=np.int64), tiny_schema)
+
+    def test_wrong_column_count_rejected(self, tiny_schema):
+        with pytest.raises(SchemaError):
+            CategoricalDataset(np.zeros((2, 2), dtype=np.int64), tiny_schema)
+
+    def test_out_of_domain_codes_rejected(self, tiny_schema):
+        codes = np.zeros((2, 3), dtype=np.int64)
+        codes[1, 0] = 99
+        with pytest.raises(Exception):
+            CategoricalDataset(codes, tiny_schema)
+
+    def test_from_labels_roundtrip(self, tiny_schema):
+        rows = [["red", "M", "round"], ["blue", "XL", "square"]]
+        dataset = CategoricalDataset.from_labels(rows, tiny_schema)
+        assert dataset.to_labels() == rows
+
+    def test_from_labels_bad_row_length(self, tiny_schema):
+        with pytest.raises(SchemaError):
+            CategoricalDataset.from_labels([["red", "M"]], tiny_schema)
+
+    def test_from_columns_infers_domains(self):
+        dataset = CategoricalDataset.from_columns(
+            {"A": ["x", "y", "x"], "B": ["1", "2", "3"]}, ordinal=["B"]
+        )
+        assert dataset.n_records == 3
+        assert dataset.domain("A").categories == ("x", "y")
+        assert dataset.domain("B").ordinal
+
+    def test_from_columns_unequal_lengths(self):
+        with pytest.raises(SchemaError):
+            CategoricalDataset.from_columns({"A": ["x"], "B": ["1", "2"]})
+
+    def test_from_columns_unknown_ordinal(self):
+        with pytest.raises(SchemaError):
+            CategoricalDataset.from_columns({"A": ["x"]}, ordinal=["Z"])
+
+
+class TestAccessors:
+    def test_column_by_name_and_index(self, tiny_dataset):
+        assert np.array_equal(tiny_dataset.column("SIZE"), tiny_dataset.column(1))
+
+    def test_column_labels(self, tiny_dataset):
+        labels = tiny_dataset.column_labels("COLOR")
+        assert len(labels) == 12
+        assert set(labels) <= {"red", "green", "blue"}
+
+    def test_record_labels(self, tiny_dataset):
+        record = tiny_dataset.record_labels(0)
+        assert len(record) == 3
+
+    def test_value_counts_includes_zero_categories(self, tiny_schema):
+        codes = np.zeros((5, 3), dtype=np.int64)
+        dataset = CategoricalDataset(codes, tiny_schema)
+        counts = dataset.value_counts("SIZE")
+        assert counts.tolist() == [5, 0, 0, 0]
+
+    def test_codes_copy_is_writable_and_independent(self, tiny_dataset):
+        copy = tiny_dataset.codes_copy()
+        copy[0, 0] = (copy[0, 0] + 1) % 3
+        assert not np.array_equal(copy, tiny_dataset.codes)
+
+
+class TestTransformations:
+    def test_with_codes(self, tiny_dataset):
+        new_codes = tiny_dataset.codes_copy()
+        new_codes[:, 0] = 0
+        derived = tiny_dataset.with_codes(new_codes, name="derived")
+        assert derived.name == "derived"
+        assert derived.column("COLOR").sum() == 0
+        # Original untouched.
+        assert not np.array_equal(derived.codes, tiny_dataset.codes) or True
+
+    def test_replace_column(self, tiny_dataset):
+        derived = tiny_dataset.replace_column("SHAPE", np.ones(12, dtype=np.int64))
+        assert derived.column("SHAPE").tolist() == [1] * 12
+        assert np.array_equal(derived.column("COLOR"), tiny_dataset.column("COLOR"))
+
+    def test_select_attributes(self, tiny_dataset):
+        sub = tiny_dataset.select_attributes(["SHAPE", "COLOR"])
+        assert sub.attribute_names == ("SHAPE", "COLOR")
+        assert np.array_equal(sub.column("COLOR"), tiny_dataset.column("COLOR"))
+
+    def test_renamed(self, tiny_dataset):
+        assert tiny_dataset.renamed("other").name == "other"
+
+
+class TestComparisons:
+    def test_require_compatible_record_count(self, tiny_dataset, tiny_schema):
+        other = CategoricalDataset(np.zeros((3, 3), dtype=np.int64), tiny_schema)
+        with pytest.raises(SchemaError, match="record counts differ"):
+            tiny_dataset.require_compatible(other)
+
+    def test_equals(self, tiny_dataset):
+        clone = tiny_dataset.with_codes(tiny_dataset.codes_copy())
+        assert tiny_dataset.equals(clone)
+
+    def test_cells_changed(self, tiny_dataset):
+        codes = tiny_dataset.codes_copy()
+        codes[0, 0] = (codes[0, 0] + 1) % 3
+        codes[5, 2] = 1 - codes[5, 2]
+        changed = tiny_dataset.with_codes(codes)
+        assert tiny_dataset.cells_changed(changed) == 2
+
+    def test_fingerprint_distinguishes_content(self, tiny_dataset):
+        codes = tiny_dataset.codes_copy()
+        codes[0, 0] = (codes[0, 0] + 1) % 3
+        assert tiny_dataset.fingerprint() != tiny_dataset.with_codes(codes).fingerprint()
+
+    def test_fingerprint_stable(self, tiny_dataset):
+        assert tiny_dataset.fingerprint() == tiny_dataset.fingerprint()

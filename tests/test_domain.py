@@ -1,0 +1,110 @@
+"""Unit tests for CategoricalDomain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CategoricalDomain
+from repro.exceptions import DomainError
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        domain = CategoricalDomain("COLOR", ["red", "green", "blue"])
+        assert domain.name == "COLOR"
+        assert domain.size == 3
+        assert len(domain) == 3
+        assert not domain.ordinal
+        assert domain.categories == ("red", "green", "blue")
+
+    def test_ordinal_flag(self):
+        domain = CategoricalDomain("SIZE", ["S", "M", "L"], ordinal=True)
+        assert domain.ordinal
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DomainError):
+            CategoricalDomain("", ["a"])
+
+    def test_empty_categories_rejected(self):
+        with pytest.raises(DomainError):
+            CategoricalDomain("X", [])
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(DomainError):
+            CategoricalDomain("X", ["a", "b", "a"])
+
+    def test_categories_coerced_to_str(self):
+        domain = CategoricalDomain("X", [1, 2, 3])
+        assert domain.categories == ("1", "2", "3")
+
+
+class TestCoding:
+    def test_code_label_roundtrip(self):
+        domain = CategoricalDomain("X", ["a", "b", "c"])
+        for code, label in enumerate(["a", "b", "c"]):
+            assert domain.code(label) == code
+            assert domain.label(code) == label
+
+    def test_unknown_label_raises(self):
+        domain = CategoricalDomain("X", ["a"])
+        with pytest.raises(DomainError, match="'zzz'"):
+            domain.code("zzz")
+
+    def test_out_of_range_code_raises(self):
+        domain = CategoricalDomain("X", ["a", "b"])
+        with pytest.raises(DomainError):
+            domain.label(2)
+        with pytest.raises(DomainError):
+            domain.label(-1)
+
+    def test_encode_decode_roundtrip(self):
+        domain = CategoricalDomain("X", ["a", "b", "c"])
+        labels = ["c", "a", "b", "a"]
+        codes = domain.encode(labels)
+        assert codes.tolist() == [2, 0, 1, 0]
+        assert domain.decode(codes) == labels
+
+    def test_contains(self):
+        domain = CategoricalDomain("X", ["a", "b"])
+        assert domain.contains_label("a")
+        assert not domain.contains_label("c")
+        assert domain.contains_code(1)
+        assert not domain.contains_code(2)
+        assert not domain.contains_code(-1)
+
+    def test_validate_codes_accepts_valid(self):
+        domain = CategoricalDomain("X", ["a", "b", "c"])
+        domain.validate_codes(np.array([0, 1, 2, 0]))
+
+    def test_validate_codes_rejects_invalid(self):
+        domain = CategoricalDomain("X", ["a", "b"])
+        with pytest.raises(DomainError):
+            domain.validate_codes(np.array([0, 2]))
+
+    def test_validate_codes_empty_ok(self):
+        CategoricalDomain("X", ["a"]).validate_codes(np.array([], dtype=np.int64))
+
+
+class TestTransforms:
+    def test_as_ordinal(self):
+        domain = CategoricalDomain("X", ["a", "b"]).as_ordinal()
+        assert domain.ordinal
+        assert domain.categories == ("a", "b")
+
+    def test_renamed(self):
+        domain = CategoricalDomain("X", ["a"], ordinal=True).renamed("Y")
+        assert domain.name == "Y"
+        assert domain.ordinal
+
+    def test_equality_and_hash(self):
+        a = CategoricalDomain("X", ["a", "b"])
+        b = CategoricalDomain("X", ["a", "b"])
+        c = CategoricalDomain("X", ["a", "b"], ordinal=True)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_mentions_kind(self):
+        assert "nominal" in repr(CategoricalDomain("X", ["a"]))
+        assert "ordinal" in repr(CategoricalDomain("X", ["a"], ordinal=True))

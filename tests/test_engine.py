@@ -1,0 +1,174 @@
+"""Integration tests for the evolutionary engine (paper Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionaryProtector, MaxGenerations, Stagnation, AnyOf
+from repro.exceptions import EvolutionError
+from repro.metrics import MeanScore, ProtectionEvaluator
+from repro.methods import Microaggregation, Pram, RankSwapping
+
+ATTRS = ["EDUCATION", "MARITAL-STATUS", "OCCUPATION"]
+
+
+@pytest.fixture(scope="module")
+def small_population():
+    from repro.data import CategoricalDataset
+    from repro.datasets import load_adult
+
+    full = load_adult()
+    adult = CategoricalDataset(full.codes[:120], full.schema, name="adult-small")
+    protections = [Pram(theta=t).protect(adult, ATTRS, seed=i) for i, t in enumerate((0.1, 0.3, 0.5))]
+    protections += [RankSwapping(p=p).protect(adult, ATTRS, seed=10 + p) for p in (2, 6)]
+    protections += [Microaggregation(k=k).protect(adult, ATTRS) for k in (3, 6)]
+    return adult, protections
+
+
+def make_engine(adult, **kwargs) -> EvolutionaryProtector:
+    evaluator = ProtectionEvaluator(adult, ATTRS)
+    return EvolutionaryProtector(evaluator, **kwargs)
+
+
+class TestConfiguration:
+    def test_bad_mutation_probability(self, small_population):
+        adult, __ = small_population
+        with pytest.raises(EvolutionError):
+            make_engine(adult, mutation_probability=1.5)
+
+    def test_bad_leader_fraction(self, small_population):
+        adult, __ = small_population
+        with pytest.raises(EvolutionError):
+            make_engine(adult, leader_fraction=0.0)
+
+    def test_bad_selection_strategy(self, small_population):
+        adult, __ = small_population
+        with pytest.raises(EvolutionError):
+            make_engine(adult, selection_strategy="psychic")
+
+    def test_bad_crowding(self, small_population):
+        adult, __ = small_population
+        with pytest.raises(EvolutionError):
+            make_engine(adult, crowding_pairing="vibes")
+
+
+class TestRun:
+    def test_population_too_small(self, small_population):
+        adult, protections = small_population
+        engine = make_engine(adult, seed=0)
+        with pytest.raises(EvolutionError):
+            engine.run(protections[:1], stopping=5)
+
+    def test_empty_initial_rejected(self, small_population):
+        adult, __ = small_population
+        with pytest.raises(EvolutionError):
+            make_engine(adult, seed=0).run([], stopping=5)
+
+    def test_runs_exact_generation_count(self, small_population):
+        adult, protections = small_population
+        result = make_engine(adult, seed=1).run(protections, stopping=25)
+        assert len(result.history) == 25
+        assert result.history.generations == list(range(1, 26))
+
+    def test_population_size_invariant(self, small_population):
+        adult, protections = small_population
+        result = make_engine(adult, seed=2).run(protections, stopping=30)
+        assert len(result.population) == len(protections)
+
+    def test_scores_never_worsen(self, small_population):
+        """Elitism + crowding: max/mean/min must be non-increasing."""
+        adult, protections = small_population
+        result = make_engine(adult, seed=3).run(protections, stopping=60)
+        for series in (result.history.max_scores, result.history.mean_scores,
+                       result.history.min_scores):
+            diffs = np.diff(np.array(series))
+            assert (diffs <= 1e-9).all()
+
+    def test_mean_improves(self, small_population):
+        adult, protections = small_population
+        result = make_engine(adult, seed=4).run(protections, stopping=80)
+        __, __, percent = result.history.improvement("mean")
+        assert percent > 0
+
+    def test_deterministic_in_seed(self, small_population):
+        adult, protections = small_population
+        res_a = make_engine(adult, seed=5).run(protections, stopping=20)
+        res_b = make_engine(adult, seed=5).run(protections, stopping=20)
+        assert res_a.history.mean_scores == res_b.history.mean_scores
+        assert res_a.best.dataset.equals(res_b.best.dataset)
+
+    def test_different_seeds_diverge(self, small_population):
+        adult, protections = small_population
+        res_a = make_engine(adult, seed=6).run(protections, stopping=30)
+        res_b = make_engine(adult, seed=7).run(protections, stopping=30)
+        assert res_a.history.mean_scores != res_b.history.mean_scores
+
+    def test_initial_snapshot_preserved(self, small_population):
+        adult, protections = small_population
+        engine = make_engine(adult, seed=8)
+        result = engine.run(protections, stopping=30)
+        assert len(result.initial) == len(protections)
+        initial_scores = sorted(ind.score for ind in result.initial)
+        # The snapshot must reflect the pre-evolution population, whose mean
+        # equals the first recorded mean only after the first generation's
+        # change; just assert it is a valid superset of final-or-better.
+        assert min(initial_scores) >= result.population.best().score - 1e-9
+
+    def test_offspring_stay_inside_domains(self, small_population):
+        adult, protections = small_population
+        result = make_engine(adult, seed=9).run(protections, stopping=40)
+        for ind in result.population:
+            adult.require_compatible(ind.dataset)  # validates codes too
+
+    def test_unprotected_attributes_untouched(self, small_population):
+        adult, protections = small_population
+        result = make_engine(adult, seed=10).run(protections, stopping=40)
+        protected_cols = {adult.schema.index_of(a) for a in ATTRS}
+        initial_by_name = {ind.dataset.name: ind.dataset for ind in result.initial}
+        for ind in result.population:
+            for col in range(adult.n_attributes):
+                if col in protected_cols:
+                    continue
+                assert np.array_equal(ind.dataset.codes[:, col], adult.codes[:, col])
+
+    def test_mutation_only_run(self, small_population):
+        adult, protections = small_population
+        result = make_engine(adult, seed=11, mutation_probability=1.0).run(protections, stopping=15)
+        assert all(r.operator == "mutation" for r in result.history.records)
+        assert all(r.evaluations == 1 for r in result.history.records)
+
+    def test_crossover_only_run(self, small_population):
+        adult, protections = small_population
+        result = make_engine(adult, seed=12, mutation_probability=0.0).run(protections, stopping=15)
+        assert all(r.operator == "crossover" for r in result.history.records)
+        assert all(r.evaluations == 2 for r in result.history.records)
+
+    def test_accepts_prescored_individuals(self, small_population):
+        adult, protections = small_population
+        engine = make_engine(adult, seed=13)
+        individuals = engine.evaluate_initial(protections)
+        result = engine.run(individuals, stopping=10)
+        assert len(result.history) == 10
+
+    def test_stopping_rule_objects(self, small_population):
+        adult, protections = small_population
+        rule = AnyOf([MaxGenerations(12), Stagnation(patience=200)])
+        result = make_engine(adult, seed=14).run(protections, stopping=rule)
+        assert len(result.history) == 12
+
+    def test_on_generation_callback(self, small_population):
+        adult, protections = small_population
+        seen = []
+        make_engine(adult, seed=15).run(
+            protections, stopping=8, on_generation=lambda record: seen.append(record.generation)
+        )
+        assert seen == list(range(1, 9))
+
+    def test_mean_score_fitness_also_works(self, small_population):
+        adult, protections = small_population
+        evaluator = ProtectionEvaluator(adult, ATTRS, score_function=MeanScore())
+        engine = EvolutionaryProtector(evaluator, seed=16)
+        result = engine.run(protections, stopping=30)
+        __, __, percent = result.history.improvement("mean")
+        assert percent >= 0

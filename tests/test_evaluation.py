@@ -1,0 +1,128 @@
+"""Unit tests for ProtectionEvaluator and ProtectionScore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metrics import (
+    MaxScore,
+    MeanScore,
+    ProtectionEvaluator,
+    ProtectionScore,
+    default_dr_measures,
+    default_il_measures,
+)
+from repro.methods import Pram
+
+ATTRS = ["EDUCATION", "MARITAL-STATUS", "OCCUPATION"]
+
+
+class TestProtectionScore:
+    def test_is_better_than(self):
+        good = ProtectionScore(10, 10, 10)
+        bad = ProtectionScore(30, 30, 30)
+        assert good.is_better_than(bad)
+        assert not bad.is_better_than(good)
+        assert not good.is_better_than(good)
+
+    def test_imbalance(self):
+        assert ProtectionScore(10, 25, 25).imbalance() == 15
+
+    def test_str_mentions_components(self):
+        text = str(ProtectionScore(10.0, 20.0, 20.0))
+        assert "IL=10.00" in text and "DR=20.00" in text
+
+
+class TestDefaults:
+    def test_paper_measure_stacks(self, small_adult):
+        il = default_il_measures(small_adult, ATTRS)
+        dr = default_dr_measures(small_adult, ATTRS)
+        assert [m.measure_name for m in il] == ["ctbil", "dbil", "ebil"]
+        assert [m.measure_name for m in dr] == ["interval_disclosure", "dbrl", "prl", "rsrl"]
+
+    def test_default_score_is_max(self, small_adult):
+        evaluator = ProtectionEvaluator(small_adult, ATTRS)
+        assert evaluator.score_function.score_name == "max"
+
+
+class TestEvaluate:
+    def test_components_average_to_aggregates(self, small_adult):
+        evaluator = ProtectionEvaluator(small_adult, ATTRS)
+        masked = Pram(theta=0.3).protect(small_adult, ATTRS, seed=0)
+        score = evaluator.evaluate(masked)
+        assert score.information_loss == pytest.approx(
+            sum(score.il_components.values()) / len(score.il_components)
+        )
+        assert score.disclosure_risk == pytest.approx(
+            sum(score.dr_components.values()) / len(score.dr_components)
+        )
+
+    def test_score_function_applied(self, small_adult):
+        masked = Pram(theta=0.3).protect(small_adult, ATTRS, seed=0)
+        mean_eval = ProtectionEvaluator(small_adult, ATTRS, score_function=MeanScore())
+        max_eval = ProtectionEvaluator(small_adult, ATTRS, score_function=MaxScore())
+        mean_score = mean_eval.evaluate(masked)
+        max_score = max_eval.evaluate(masked)
+        assert mean_score.score == pytest.approx(
+            (mean_score.information_loss + mean_score.disclosure_risk) / 2
+        )
+        assert max_score.score == pytest.approx(
+            max(max_score.information_loss, max_score.disclosure_risk)
+        )
+
+    def test_identity_has_zero_il(self, small_adult):
+        evaluator = ProtectionEvaluator(small_adult, ATTRS)
+        score = evaluator.evaluate(small_adult)
+        assert score.information_loss == 0.0
+        assert score.disclosure_risk > 0.0
+
+    def test_rescore_changes_only_aggregation(self, small_adult):
+        masked = Pram(theta=0.3).protect(small_adult, ATTRS, seed=0)
+        max_eval = ProtectionEvaluator(small_adult, ATTRS, score_function=MaxScore())
+        mean_eval = ProtectionEvaluator(small_adult, ATTRS, score_function=MeanScore())
+        original = max_eval.evaluate(masked)
+        rescored = mean_eval.rescore(original)
+        assert rescored.information_loss == original.information_loss
+        assert rescored.disclosure_risk == original.disclosure_risk
+        assert rescored.score == pytest.approx(
+            (original.information_loss + original.disclosure_risk) / 2
+        )
+
+    def test_needs_measures(self, small_adult):
+        with pytest.raises(MetricError):
+            ProtectionEvaluator(small_adult, ATTRS, il_measures=[], dr_measures=None)
+
+
+class TestCaching:
+    def test_cache_hit_on_identical_content(self, small_adult):
+        evaluator = ProtectionEvaluator(small_adult, ATTRS)
+        masked = Pram(theta=0.3).protect(small_adult, ATTRS, seed=0)
+        first = evaluator.evaluate(masked)
+        clone = masked.with_codes(masked.codes_copy(), name="clone")
+        second = evaluator.evaluate(clone)
+        assert second is first
+        assert evaluator.cache_hits == 1
+        assert evaluator.evaluations == 1
+
+    def test_cache_disabled(self, small_adult):
+        evaluator = ProtectionEvaluator(small_adult, ATTRS, cache_size=0)
+        masked = Pram(theta=0.3).protect(small_adult, ATTRS, seed=0)
+        evaluator.evaluate(masked)
+        evaluator.evaluate(masked)
+        assert evaluator.evaluations == 2
+        assert evaluator.cache_hits == 0
+
+    def test_cache_eviction(self, small_adult):
+        evaluator = ProtectionEvaluator(small_adult, ATTRS, cache_size=2)
+        maskings = [Pram(theta=0.3).protect(small_adult, ATTRS, seed=s) for s in range(3)]
+        for masked in maskings:
+            evaluator.evaluate(masked)
+        assert evaluator.cache_info()["size"] == 2
+        # Oldest entry evicted: evaluating it again is a miss.
+        evaluator.evaluate(maskings[0])
+        assert evaluator.evaluations == 4
+
+    def test_negative_cache_size_rejected(self, small_adult):
+        with pytest.raises(MetricError):
+            ProtectionEvaluator(small_adult, ATTRS, cache_size=-1)

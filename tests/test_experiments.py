@@ -1,0 +1,108 @@
+"""Integration tests for the experiment harness (small generation budgets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Individual
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    EXPERIMENT1_FIGURES,
+    EXPERIMENT2_FIGURES,
+    EXPERIMENT3_FRACTIONS,
+    ExperimentConfig,
+    dispersion_data,
+    drop_best,
+    experiment1_config,
+    experiment2_config,
+    experiment3_config,
+    run_experiment,
+)
+from repro.metrics import ProtectionScore
+
+
+class TestConfigs:
+    def test_experiment1_uses_mean_score(self):
+        assert experiment1_config("adult").score == "mean"
+
+    def test_experiment2_uses_max_score(self):
+        assert experiment2_config("adult").score == "max"
+
+    def test_experiment3_is_flare_max_with_truncation(self):
+        config = experiment3_config(0.05)
+        assert config.dataset == "flare"
+        assert config.score == "max"
+        assert config.drop_best_fraction == 0.05
+
+    def test_figure_indices_cover_paper(self):
+        dispersions = {f["dispersion"] for f in EXPERIMENT1_FIGURES.values()}
+        evolutions = {f["evolution"] for f in EXPERIMENT1_FIGURES.values()}
+        assert dispersions == {1, 3, 5, 7}
+        assert evolutions == {2, 4, 6, 8}
+        dispersions2 = {f["dispersion"] for f in EXPERIMENT2_FIGURES.values()}
+        assert dispersions2 == {9, 11, 13, 15}
+        assert set(EXPERIMENT3_FRACTIONS) == {0.05, 0.10}
+
+    def test_bad_drop_fraction(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(dataset="flare", drop_best_fraction=1.0)
+
+
+class TestDropBest:
+    def _individuals(self, adult, scores):
+        return [Individual(adult, ProtectionScore(s, s, s)) for s in scores]
+
+    def test_drops_expected_count(self, adult):
+        individuals = self._individuals(adult, [10, 20, 30, 40, 50, 60, 70, 80, 90, 100])
+        kept, dropped = drop_best(individuals, 0.2)
+        assert len(dropped) == 2
+        assert {ind.score for ind in dropped} == {10, 20}
+        assert min(ind.score for ind in kept) == 30
+
+    def test_zero_fraction_keeps_all(self, adult):
+        individuals = self._individuals(adult, [10, 20])
+        kept, dropped = drop_best(individuals, 0.0)
+        assert len(kept) == 2 and not dropped
+
+    def test_always_keeps_two(self, adult):
+        individuals = self._individuals(adult, [10, 20, 30])
+        kept, __ = drop_best(individuals, 0.9)
+        assert len(kept) >= 2
+
+
+class TestRunExperiment:
+    """End-to-end runs with tiny budgets (the benches do the real runs)."""
+
+    @pytest.fixture(scope="class")
+    def small_run(self):
+        config = ExperimentConfig(dataset="adult", score="max", generations=12, seed=1)
+        return run_experiment(config)
+
+    def test_history_length(self, small_run):
+        assert len(small_run.history) == 12
+
+    def test_population_size_matches_paper(self, small_run):
+        assert len(small_run.result.population) == 86
+
+    def test_dispersion_clouds_have_population_size(self, small_run):
+        data = dispersion_data(small_run.result)
+        assert len(data.initial) == 86
+        assert len(data.final) == 86
+
+    def test_summary_rows_shape(self, small_run):
+        rows = small_run.summary_rows()
+        assert [row[0] for row in rows] == ["max", "mean", "min"]
+        for row in rows:
+            assert row[1] >= row[2]  # scores never worsen
+
+    def test_truncated_run_drops_elites(self):
+        config = ExperimentConfig(
+            dataset="adult", score="max", generations=5, seed=1, drop_best_fraction=0.10
+        )
+        outcome = run_experiment(config)
+        assert len(outcome.dropped) == round(86 * 0.10)
+        assert len(outcome.result.population) == 86 - len(outcome.dropped)
+        # Every dropped elite is at least as good as every kept initial.
+        worst_dropped = max(ind.score for ind in outcome.dropped)
+        best_kept = min(ind.score for ind in outcome.result.initial)
+        assert worst_dropped <= best_kept + 1e-9

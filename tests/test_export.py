@@ -1,0 +1,74 @@
+"""Unit tests for CSV figure-data export."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.core import EvolutionaryProtector
+from repro.experiments.export import (
+    export_dispersion_csv,
+    export_evolution_csv,
+    export_experiment,
+    export_improvements_csv,
+)
+from repro.metrics import ProtectionEvaluator
+from repro.methods import Pram, RankSwapping
+
+ATTRS = ["EDUCATION", "MARITAL-STATUS", "OCCUPATION"]
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    from repro.data import CategoricalDataset
+    from repro.datasets import load_adult
+
+    full = load_adult()
+    small = CategoricalDataset(full.codes[:100], full.schema, name="adult-tiny")
+    protections = [Pram(theta=t).protect(small, ATTRS, seed=i) for i, t in enumerate((0.1, 0.3))]
+    protections += [RankSwapping(p=p).protect(small, ATTRS, seed=p) for p in (3, 8)]
+    evaluator = ProtectionEvaluator(small, ATTRS)
+    return EvolutionaryProtector(evaluator, seed=0).run(protections, stopping=10)
+
+
+def read_rows(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestExports:
+    def test_dispersion_csv(self, run_result, tmp_path):
+        path = export_dispersion_csv(run_result, tmp_path / "d.csv")
+        rows = read_rows(path)
+        assert rows[0] == ["phase", "il", "dr"]
+        phases = {row[0] for row in rows[1:]}
+        assert phases == {"initial", "final"}
+        assert len(rows) - 1 == 2 * len(run_result.population)
+        for row in rows[1:]:
+            assert 0.0 <= float(row[1]) <= 100.0
+            assert 0.0 <= float(row[2]) <= 100.0
+
+    def test_evolution_csv(self, run_result, tmp_path):
+        path = export_evolution_csv(run_result.history, tmp_path / "e.csv")
+        rows = read_rows(path)
+        assert rows[0] == ["generation", "max", "mean", "min"]
+        assert len(rows) - 1 == len(run_result.history)
+        generations = [int(row[0]) for row in rows[1:]]
+        assert generations == list(range(1, 11))
+
+    def test_improvements_csv(self, run_result, tmp_path):
+        path = export_improvements_csv(run_result.history, tmp_path / "i.csv")
+        rows = read_rows(path)
+        assert [row[0] for row in rows[1:]] == ["max", "mean", "min"]
+
+    def test_export_experiment_bundle(self, run_result, tmp_path):
+        paths = export_experiment(run_result, tmp_path / "out", "flare_e2")
+        assert len(paths) == 3
+        for path in paths:
+            assert path.exists()
+            assert path.name.startswith("flare_e2_")
+
+    def test_export_creates_directory(self, run_result, tmp_path):
+        paths = export_experiment(run_result, tmp_path / "a" / "b", "x")
+        assert all(p.exists() for p in paths)

@@ -1,0 +1,150 @@
+"""Failure-injection tests: broken components must fail loudly and cleanly.
+
+The library's error philosophy: never silently degrade a privacy
+computation.  A measure returning garbage, a protection emitting
+out-of-domain codes, or an incompatible file must surface as a typed
+ReproError (or subclass) at the point of entry — not as a wrong score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionaryProtector
+from repro.data import CategoricalDataset
+from repro.exceptions import MetricError, ReproError
+from repro.methods import Pram, ProtectionMethod
+from repro.metrics import ProtectionEvaluator, default_dr_measures, default_il_measures
+from repro.metrics.base import DisclosureRiskMeasure, InformationLossMeasure
+
+ATTRS = ["EDUCATION", "MARITAL-STATUS", "OCCUPATION"]
+
+
+class _NanMeasure(InformationLossMeasure):
+    measure_name = "nan_measure"
+
+    def _compute(self, masked):
+        return float("nan")
+
+
+class _OutOfRangeMeasure(InformationLossMeasure):
+    measure_name = "overflow_measure"
+
+    def _compute(self, masked):
+        return 150.0
+
+
+class _RaisingMeasure(DisclosureRiskMeasure):
+    measure_name = "raising_measure"
+
+    def _compute(self, masked):
+        raise RuntimeError("sensor exploded")
+
+
+class _CorruptingMethod(ProtectionMethod):
+    method_name = "corrupting"
+
+    def protect_column(self, dataset, column, rng):
+        out = dataset.column(column).copy()
+        out[0] = dataset.schema.domain(column).size + 5  # out of domain
+        return out
+
+
+class TestMeasureFailures:
+    def test_out_of_range_measure_rejected(self, small_adult):
+        measure = _OutOfRangeMeasure(small_adult, ATTRS)
+        with pytest.raises(MetricError, match="outside"):
+            measure.compute(small_adult)
+
+    def test_nan_measure_rejected(self, small_adult):
+        measure = _NanMeasure(small_adult, ATTRS)
+        with pytest.raises(MetricError):
+            measure.compute(small_adult)
+
+    def test_raising_measure_propagates(self, small_adult):
+        evaluator = ProtectionEvaluator(
+            small_adult,
+            ATTRS,
+            il_measures=default_il_measures(small_adult, ATTRS),
+            dr_measures=default_dr_measures(small_adult, ATTRS) + [_RaisingMeasure(small_adult, ATTRS)],
+        )
+        with pytest.raises(RuntimeError, match="sensor exploded"):
+            evaluator.evaluate(small_adult)
+
+    def test_failed_evaluation_not_cached(self, small_adult):
+        flaky_calls = {"count": 0}
+
+        class _FlakyMeasure(InformationLossMeasure):
+            measure_name = "flaky"
+
+            def _compute(self, masked):
+                flaky_calls["count"] += 1
+                if flaky_calls["count"] == 1:
+                    raise RuntimeError("transient")
+                return 1.0
+
+        evaluator = ProtectionEvaluator(
+            small_adult,
+            ATTRS,
+            il_measures=[_FlakyMeasure(small_adult, ATTRS)],
+            dr_measures=default_dr_measures(small_adult, ATTRS),
+        )
+        with pytest.raises(RuntimeError):
+            evaluator.evaluate(small_adult)
+        # Second attempt recomputes (nothing poisoned the cache) and succeeds.
+        score = evaluator.evaluate(small_adult)
+        assert score.information_loss == 1.0
+
+
+class TestMethodFailures:
+    def test_out_of_domain_protection_rejected(self, small_adult):
+        with pytest.raises(ReproError):
+            _CorruptingMethod().protect(small_adult, ATTRS)
+
+
+class TestEngineFailures:
+    def test_incompatible_protection_rejected_up_front(self, small_adult, adult):
+        evaluator = ProtectionEvaluator(small_adult, ATTRS)
+        engine = EvolutionaryProtector(evaluator, seed=0)
+        good = Pram(theta=0.2).protect(small_adult, ATTRS, seed=0)
+        bad = adult  # wrong record count
+        with pytest.raises(ReproError):
+            engine.run([good, bad], stopping=3)
+
+    def test_mid_run_measure_failure_propagates(self, small_adult):
+        calls = {"count": 0}
+
+        class _TimeBomb(InformationLossMeasure):
+            measure_name = "time_bomb"
+
+            def _compute(self, masked):
+                calls["count"] += 1
+                if calls["count"] > 4:
+                    raise RuntimeError("boom")
+                return 1.0
+
+        evaluator = ProtectionEvaluator(
+            small_adult,
+            ATTRS,
+            il_measures=[_TimeBomb(small_adult, ATTRS)],
+            dr_measures=default_dr_measures(small_adult, ATTRS),
+            cache_size=0,
+        )
+        engine = EvolutionaryProtector(evaluator, seed=1)
+        protections = [Pram(theta=t).protect(small_adult, ATTRS, seed=i)
+                       for i, t in enumerate((0.1, 0.2, 0.3))]
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.run(protections, stopping=50)
+
+
+class TestDataFailures:
+    def test_read_only_codes_cannot_be_poked(self, small_adult):
+        with pytest.raises(ValueError):
+            small_adult.codes[0, 0] = 0
+
+    def test_negative_codes_rejected_at_construction(self, small_adult):
+        codes = small_adult.codes_copy()
+        codes[0, 0] = -1
+        with pytest.raises(ReproError):
+            CategoricalDataset(codes, small_adult.schema)

@@ -1,0 +1,110 @@
+"""Unit tests for value generalization hierarchies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CategoricalDomain
+from repro.exceptions import HierarchyError
+from repro.hierarchy import ValueHierarchy, fanout_hierarchy, frequency_hierarchy
+
+
+def domain(size: int, name: str = "X") -> CategoricalDomain:
+    return CategoricalDomain(name, [f"c{i}" for i in range(size)])
+
+
+class TestValueHierarchy:
+    def test_level_zero_is_identity(self):
+        h = ValueHierarchy(domain(4), [np.array([0, 0, 1, 1])])
+        assert h.n_levels == 2
+        assert h.n_groups(0) == 4
+        assert h.group_of(0).tolist() == [0, 1, 2, 3]
+
+    def test_group_structure(self):
+        h = ValueHierarchy(domain(4), [np.array([0, 0, 1, 1]), np.array([0, 0, 0, 0])])
+        assert h.n_groups(1) == 2
+        assert h.n_groups(2) == 1
+        assert h.members(1, 0).tolist() == [0, 1]
+        assert h.members(2, 0).tolist() == [0, 1, 2, 3]
+
+    def test_generalize_codes(self):
+        h = ValueHierarchy(domain(4), [np.array([0, 0, 1, 1])])
+        out = h.generalize_codes(np.array([0, 1, 2, 3, 0]), 1)
+        assert out.tolist() == [0, 0, 1, 1, 0]
+
+    def test_generalize_level_zero_identity(self):
+        h = ValueHierarchy(domain(4), [np.array([0, 0, 1, 1])])
+        assert h.generalize_codes(np.array([2, 3]), 0).tolist() == [2, 3]
+
+    def test_wrong_map_shape_rejected(self):
+        with pytest.raises(HierarchyError, match="shape"):
+            ValueHierarchy(domain(4), [np.array([0, 0, 1])])
+
+    def test_non_contiguous_groups_rejected(self):
+        with pytest.raises(HierarchyError, match="contiguous"):
+            ValueHierarchy(domain(3), [np.array([0, 2, 2])])
+
+    def test_non_coarsening_rejected(self):
+        # Level 1 groups {0,1} together; level 2 must not split them.
+        with pytest.raises(HierarchyError, match="splits"):
+            ValueHierarchy(
+                domain(4),
+                [np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1])],
+            )
+
+    def test_level_out_of_range(self):
+        h = ValueHierarchy(domain(2), [np.array([0, 0])])
+        with pytest.raises(HierarchyError):
+            h.n_groups(5)
+
+    def test_missing_group_raises(self):
+        h = ValueHierarchy(domain(2), [np.array([0, 0])])
+        with pytest.raises(HierarchyError):
+            h.members(1, 3)
+
+
+class TestFanoutBuilder:
+    def test_fanout_two_halves_each_level(self):
+        h = fanout_hierarchy(domain(8), fanout=2)
+        assert [h.n_groups(level) for level in range(h.n_levels)] == [8, 4, 2, 1]
+
+    def test_fanout_non_power(self):
+        h = fanout_hierarchy(domain(5), fanout=2)
+        assert h.n_groups(1) == 3
+        assert h.n_groups(h.n_levels - 1) == 1
+
+    def test_adjacent_categories_grouped(self):
+        h = fanout_hierarchy(domain(6), fanout=3)
+        assert h.group_of(1).tolist() == [0, 0, 0, 1, 1, 1]
+
+    def test_single_category_domain(self):
+        h = fanout_hierarchy(domain(1))
+        assert h.n_levels == 1
+
+    def test_bad_fanout(self):
+        with pytest.raises(HierarchyError):
+            fanout_hierarchy(domain(4), fanout=1)
+
+
+class TestFrequencyBuilder:
+    def test_rarest_merged_first(self, tiny_dataset):
+        color = tiny_dataset.domain("COLOR")
+        h = frequency_hierarchy(color, tiny_dataset, fanout=2)
+        counts = tiny_dataset.value_counts("COLOR")
+        level1 = h.group_of(1)
+        # The two rarest categories share a group at level 1.
+        order = np.lexsort((np.arange(3), counts))
+        assert level1[order[0]] == level1[order[1]]
+
+    def test_reaches_single_group(self, tiny_dataset):
+        h = frequency_hierarchy(tiny_dataset.domain("SIZE"), tiny_dataset)
+        assert h.n_groups(h.n_levels - 1) == 1
+
+    def test_domain_mismatch_rejected(self, tiny_dataset):
+        with pytest.raises(HierarchyError):
+            frequency_hierarchy(domain(7, "COLOR"), tiny_dataset, attribute="COLOR")
+
+    def test_bad_fanout(self, tiny_dataset):
+        with pytest.raises(HierarchyError):
+            frequency_hierarchy(tiny_dataset.domain("COLOR"), tiny_dataset, fanout=0)

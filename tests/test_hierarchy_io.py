@@ -1,0 +1,89 @@
+"""Unit tests for hierarchy CSV import/export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CategoricalDomain
+from repro.exceptions import HierarchyError
+from repro.hierarchy import (
+    ValueHierarchy,
+    fanout_hierarchy,
+    read_hierarchy_csv,
+    write_hierarchy_csv,
+)
+
+
+def domain(size=6, name="X"):
+    return CategoricalDomain(name, [f"c{i}" for i in range(size)])
+
+
+class TestRoundtrip:
+    def test_write_read_roundtrip(self, tmp_path):
+        original = fanout_hierarchy(domain(6), fanout=2)
+        path = tmp_path / "h.csv"
+        write_hierarchy_csv(original, path)
+        loaded = read_hierarchy_csv(domain(6), path)
+        assert loaded.n_levels == original.n_levels
+        for level in range(original.n_levels):
+            assert np.array_equal(loaded.group_of(level), original.group_of(level))
+
+    def test_roundtrip_trivial_hierarchy(self, tmp_path):
+        original = ValueHierarchy(domain(3), [np.array([0, 0, 0])])
+        path = tmp_path / "h.csv"
+        write_hierarchy_csv(original, path)
+        loaded = read_hierarchy_csv(domain(3), path)
+        assert loaded.n_groups(1) == 1
+
+    def test_rows_permuted_still_loads(self, tmp_path):
+        # Interchange files need not list categories in domain order.
+        path = tmp_path / "h.csv"
+        path.write_text("c2,A\nc0,A\nc1,B\n")
+        loaded = read_hierarchy_csv(domain(3), path)
+        groups = loaded.group_of(1)
+        assert groups[2] == groups[0] != groups[1]
+
+
+class TestErrors:
+    def test_wrong_row_count(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("c0,A\nc1,A\n")
+        with pytest.raises(HierarchyError, match="rows"):
+            read_hierarchy_csv(domain(3), path)
+
+    def test_unknown_label(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("zz,A\nc1,A\nc2,B\n")
+        with pytest.raises(HierarchyError, match="unknown"):
+            read_hierarchy_csv(domain(3), path)
+
+    def test_duplicate_label(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("c0,A\nc0,A\nc2,B\n")
+        with pytest.raises(HierarchyError, match="duplicate"):
+            read_hierarchy_csv(domain(3), path)
+
+    def test_ragged_rows(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("c0,A\nc1\nc2,B\n")
+        with pytest.raises(HierarchyError, match="column counts"):
+            read_hierarchy_csv(domain(3), path)
+
+    def test_non_coarsening_file_rejected(self, tmp_path):
+        # c0 and c1 merge at level 1 but split again at level 2: invalid.
+        path = tmp_path / "h.csv"
+        path.write_text("c0,A,P\nc1,A,Q\nc2,B,Q\n")
+        with pytest.raises(HierarchyError, match="splits"):
+            read_hierarchy_csv(domain(3), path)
+
+    def test_loaded_hierarchy_usable_in_recoding(self, adult, tmp_path):
+        from repro.methods import GlobalRecoding
+
+        hierarchy = fanout_hierarchy(adult.domain("EDUCATION"), fanout=2)
+        path = tmp_path / "edu.csv"
+        write_hierarchy_csv(hierarchy, path)
+        loaded = read_hierarchy_csv(adult.domain("EDUCATION"), path)
+        method = GlobalRecoding(level=2, hierarchies={"EDUCATION": loaded})
+        masked = method.protect(adult, ["EDUCATION"])
+        assert adult.cells_changed(masked) > 0

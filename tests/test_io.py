@@ -1,0 +1,74 @@
+"""Unit tests for CSV io."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import read_csv, read_csv_inferring_schema, write_csv
+from repro.exceptions import DataFormatError
+
+
+class TestRoundtrip:
+    def test_write_read_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.csv"
+        write_csv(tiny_dataset, path)
+        loaded = read_csv(path, tiny_dataset.schema)
+        assert loaded.equals(tiny_dataset)
+
+    def test_roundtrip_with_delimiter(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.tsv"
+        write_csv(tiny_dataset, path, delimiter=";")
+        loaded = read_csv(path, tiny_dataset.schema, delimiter=";")
+        assert loaded.equals(tiny_dataset)
+
+    def test_read_uses_stem_as_default_name(self, tiny_dataset, tmp_path):
+        path = tmp_path / "myfile.csv"
+        write_csv(tiny_dataset, path)
+        assert read_csv(path, tiny_dataset.schema).name == "myfile"
+
+    def test_infer_schema_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.csv"
+        write_csv(tiny_dataset, path)
+        loaded = read_csv_inferring_schema(path, ordinal=["SIZE"])
+        # Same labels cell-by-cell even though inferred domains may order
+        # categories differently.
+        assert loaded.to_labels() == tiny_dataset.to_labels()
+        assert loaded.domain("SIZE").ordinal
+
+
+class TestErrors:
+    def test_empty_file(self, tiny_dataset, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataFormatError, match="empty"):
+            read_csv(path, tiny_dataset.schema)
+
+    def test_header_mismatch(self, tiny_dataset, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("X,Y,Z\nred,M,round\n")
+        with pytest.raises(DataFormatError, match="header"):
+            read_csv(path, tiny_dataset.schema)
+
+    def test_short_row(self, tiny_dataset, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("COLOR,SIZE,SHAPE\nred,M\n")
+        with pytest.raises(DataFormatError, match="expected 3 fields"):
+            read_csv(path, tiny_dataset.schema)
+
+    def test_unknown_label(self, tiny_dataset, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("COLOR,SIZE,SHAPE\nmagenta,M,round\n")
+        with pytest.raises(DataFormatError, match="magenta"):
+            read_csv(path, tiny_dataset.schema)
+
+    def test_infer_duplicate_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("A,A\nx,y\n")
+        with pytest.raises(DataFormatError, match="duplicate"):
+            read_csv_inferring_schema(path)
+
+    def test_infer_no_rows(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("A,B\n")
+        with pytest.raises(DataFormatError, match="no data rows"):
+            read_csv_inferring_schema(path)

@@ -1,0 +1,117 @@
+"""Unit tests for DBRL, PRL and RSRL (reference n^2 implementations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LinkageError
+from repro.linkage import (
+    agreement_pattern_matrix,
+    distance_based_record_linkage,
+    fit_fellegi_sunter,
+    fractional_correct_links,
+    probabilistic_record_linkage,
+    rank_compatibility_scores,
+    rank_swapping_record_linkage,
+)
+from repro.methods import Pram, RankSwapping
+
+ATTRS = ["EDUCATION", "MARITAL-STATUS", "OCCUPATION"]
+
+
+class TestFractionalCredit:
+    def test_unique_diagonal_minimum_gives_full_credit(self):
+        score = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert fractional_correct_links(score, best_is_max=False) == 2.0
+
+    def test_tie_gives_fractional_credit(self):
+        score = np.zeros((2, 2))
+        # All distances tie: each row credits 1/2.
+        assert fractional_correct_links(score, best_is_max=False) == 1.0
+
+    def test_diagonal_not_at_best_gives_zero(self):
+        score = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert fractional_correct_links(score, best_is_max=False) == 0.0
+
+    def test_max_mode(self):
+        score = np.array([[5.0, 1.0], [1.0, 5.0]])
+        assert fractional_correct_links(score, best_is_max=True) == 2.0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            fractional_correct_links(np.zeros((2, 3)), best_is_max=False)
+
+
+class TestDBRL:
+    def test_identity_upper_bounds_masked(self, small_adult):
+        masked = Pram(theta=0.4).protect(small_adult, ATTRS, seed=0)
+        identity_risk = distance_based_record_linkage(small_adult, small_adult, ATTRS)
+        masked_risk = distance_based_record_linkage(small_adult, masked, ATTRS)
+        assert 0 <= masked_risk <= identity_risk <= 100
+
+    def test_stronger_masking_lower_risk(self, small_adult):
+        mild = Pram(theta=0.05).protect(small_adult, ATTRS, seed=1)
+        strong = Pram(theta=0.6).protect(small_adult, ATTRS, seed=1)
+        assert distance_based_record_linkage(
+            small_adult, strong, ATTRS
+        ) < distance_based_record_linkage(small_adult, mild, ATTRS)
+
+
+class TestPRL:
+    def test_pattern_matrix_encoding(self, small_adult):
+        patterns = agreement_pattern_matrix(small_adult, small_adult, ATTRS)
+        # Self-comparison: the diagonal agrees on everything -> all bits set.
+        assert (np.diagonal(patterns) == 2 ** len(ATTRS) - 1).all()
+
+    def test_pattern_matrix_too_many_attrs(self, small_adult):
+        with pytest.raises(LinkageError):
+            agreement_pattern_matrix(small_adult, small_adult, ATTRS * 7)
+
+    def test_em_separates_m_and_u(self, small_adult):
+        masked = Pram(theta=0.2).protect(small_adult, ATTRS, seed=2)
+        patterns = agreement_pattern_matrix(small_adult, masked, ATTRS)
+        counts = np.bincount(patterns.ravel(), minlength=8)
+        model = fit_fellegi_sunter(counts, 3)
+        # Matches agree more than non-matches on every attribute.
+        assert (model.m > model.u).all()
+
+    def test_full_agreement_pattern_has_max_weight(self, small_adult):
+        masked = Pram(theta=0.2).protect(small_adult, ATTRS, seed=2)
+        patterns = agreement_pattern_matrix(small_adult, masked, ATTRS)
+        counts = np.bincount(patterns.ravel(), minlength=8)
+        model = fit_fellegi_sunter(counts, 3)
+        assert model.pattern_weights.argmax() == 7
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(LinkageError):
+            fit_fellegi_sunter(np.zeros(8), 3)
+
+    def test_prl_bounds(self, small_adult):
+        masked = Pram(theta=0.3).protect(small_adult, ATTRS, seed=3)
+        risk = probabilistic_record_linkage(small_adult, masked, ATTRS)
+        assert 0 <= risk <= 100
+
+
+class TestRSRL:
+    def test_scores_bounded_by_attribute_count(self, small_adult):
+        masked = RankSwapping(p=5).protect(small_adult, ATTRS, seed=0)
+        scores = rank_compatibility_scores(small_adult, masked, ATTRS, window=0.1)
+        assert scores.min() >= 0 and scores.max() <= len(ATTRS)
+
+    def test_bad_window_rejected(self, small_adult):
+        with pytest.raises(LinkageError):
+            rank_compatibility_scores(small_adult, small_adult, ATTRS, window=0.0)
+
+    def test_rsrl_detects_rank_swapping_better_at_matching_window(self, small_adult):
+        # For a rank-swapped file, a window sized to the swap parameter
+        # should re-identify more than a tiny window.
+        masked = RankSwapping(p=8).protect(small_adult, ATTRS, seed=4)
+        tight = rank_swapping_record_linkage(small_adult, masked, ATTRS, window=0.01)
+        matched = rank_swapping_record_linkage(small_adult, masked, ATTRS, window=0.12)
+        assert matched >= tight
+
+    def test_rsrl_bounds(self, small_adult):
+        masked = RankSwapping(p=5).protect(small_adult, ATTRS, seed=5)
+        risk = rank_swapping_record_linkage(small_adult, masked, ATTRS)
+        assert 0 <= risk <= 100

@@ -1,0 +1,74 @@
+"""Unit tests for linkage distances and rank geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LinkageError
+from repro.linkage import (
+    attribute_distance_columns,
+    cross_distance_matrix,
+    rank_position_columns,
+    rank_positions,
+)
+from repro.methods import Pram
+
+
+class TestAttributeDistances:
+    def test_identity_is_zero(self, small_adult):
+        distances = attribute_distance_columns(
+            small_adult, small_adult, ["EDUCATION", "SEX"]
+        )
+        assert distances.shape == (small_adult.n_records, 2)
+        assert distances.max() == 0.0
+
+    def test_nominal_distance_is_binary(self, small_adult):
+        masked = Pram(theta=0.5).protect(small_adult, ["OCCUPATION"], seed=0)
+        distances = attribute_distance_columns(small_adult, masked, ["OCCUPATION"])
+        assert set(np.unique(distances)) <= {0.0, 1.0}
+
+    def test_ordinal_distance_normalized(self, small_adult):
+        masked = Pram(theta=0.5).protect(small_adult, ["EDUCATION"], seed=0)
+        distances = attribute_distance_columns(small_adult, masked, ["EDUCATION"])
+        assert distances.min() >= 0.0 and distances.max() <= 1.0
+        # Some changed value should give a fractional distance (EDUCATION
+        # is ordinal with 16 categories).
+        changed = distances[distances > 0]
+        assert ((changed > 0) & (changed < 1)).any()
+
+
+class TestCrossDistanceMatrix:
+    def test_diagonal_zero_for_identity(self, small_adult):
+        matrix = cross_distance_matrix(small_adult, small_adult, ["EDUCATION", "SEX"])
+        assert np.diagonal(matrix).max() == 0.0
+
+    def test_shape_and_bounds(self, small_adult):
+        masked = Pram(theta=0.3).protect(small_adult, ["EDUCATION"], seed=1)
+        matrix = cross_distance_matrix(small_adult, masked, ["EDUCATION", "SEX"])
+        n = small_adult.n_records
+        assert matrix.shape == (n, n)
+        assert matrix.min() >= 0.0 and matrix.max() <= 1.0
+
+    def test_empty_attributes_rejected(self, small_adult):
+        with pytest.raises(Exception):
+            cross_distance_matrix(small_adult, small_adult, [])
+
+
+class TestRankPositions:
+    def test_positions_in_unit_interval_and_monotone(self, adult):
+        positions = rank_positions(adult, "EDUCATION")
+        assert positions.shape == (16,)
+        assert positions.min() >= 0.0 and positions.max() <= 1.0
+        assert (np.diff(positions) >= 0).all()
+
+    def test_position_mass_tracks_frequency(self, adult):
+        counts = adult.value_counts("EDUCATION")
+        positions = rank_positions(adult, "EDUCATION")
+        # Midpoint of category c is cum_before + count/2; check first category.
+        expected_first = counts[0] / 2 / adult.n_records
+        assert positions[0] == pytest.approx(expected_first)
+
+    def test_rank_position_columns_shape(self, small_adult):
+        out = rank_position_columns(small_adult, small_adult, ["EDUCATION", "SEX"])
+        assert out.shape == (small_adult.n_records, 2)

@@ -1,0 +1,128 @@
+"""Unit tests for the ProtectionMethod base class, registry and pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CategoricalDataset
+from repro.exceptions import ProtectionError
+from repro.methods import (
+    Pram,
+    ProtectionMethod,
+    ProtectionPipeline,
+    RankSwapping,
+    TopCoding,
+    registry,
+)
+
+
+class _BadShapeMethod(ProtectionMethod):
+    method_name = "bad_shape"
+
+    def protect_column(self, dataset, column, rng):
+        return np.zeros(3, dtype=np.int64)
+
+
+class _OutOfDomainMethod(ProtectionMethod):
+    method_name = "out_of_domain"
+
+    def protect_column(self, dataset, column, rng):
+        return np.full(dataset.n_records, 999, dtype=np.int64)
+
+
+class TestProtectInterface:
+    def test_empty_attributes_rejected(self, adult):
+        with pytest.raises(ProtectionError):
+            Pram(theta=0.1).protect(adult, [])
+
+    def test_unknown_attribute_rejected(self, adult):
+        with pytest.raises(Exception):
+            Pram(theta=0.1).protect(adult, ["NOPE"])
+
+    def test_bad_shape_from_subclass_caught(self, adult):
+        with pytest.raises(ProtectionError, match="shape"):
+            _BadShapeMethod().protect(adult, ["EDUCATION"])
+
+    def test_out_of_domain_from_subclass_caught(self, adult):
+        with pytest.raises(Exception):
+            _OutOfDomainMethod().protect(adult, ["EDUCATION"])
+
+    def test_protect_never_mutates_original(self, adult):
+        before = adult.codes.copy()
+        Pram(theta=0.4).protect(adult, ["EDUCATION"], seed=0)
+        assert np.array_equal(adult.codes, before)
+
+    def test_custom_name(self, adult):
+        masked = Pram(theta=0.1).protect(adult, ["EDUCATION"], seed=0, name="custom")
+        assert masked.name == "custom"
+
+    def test_default_name_mentions_method(self, adult):
+        masked = Pram(theta=0.1).protect(adult, ["EDUCATION"], seed=0)
+        assert "pram" in masked.name
+
+    def test_result_is_valid_dataset(self, adult):
+        masked = Pram(theta=0.3).protect(adult, ["EDUCATION"], seed=0)
+        assert isinstance(masked, CategoricalDataset)
+        adult.require_compatible(masked)
+
+
+class TestRegistry:
+    def test_known_methods_registered(self):
+        names = registry.names()
+        for expected in (
+            "microaggregation",
+            "rank_swapping",
+            "pram",
+            "invariant_pram",
+            "top_coding",
+            "bottom_coding",
+            "global_recoding",
+            "local_suppression",
+        ):
+            assert expected in names
+
+    def test_create_by_name(self):
+        method = registry.create("pram", theta=0.25)
+        assert isinstance(method, Pram)
+        assert method.theta == 0.25
+
+    def test_create_unknown(self):
+        with pytest.raises(ProtectionError, match="unknown method"):
+            registry.create("quantum_foam")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ProtectionError, match="already registered"):
+            registry.register(Pram)
+
+
+class TestPipeline:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ProtectionError):
+            ProtectionPipeline([])
+
+    def test_stages_apply_in_order(self, adult):
+        attrs = ["EDUCATION"]
+        pipeline = ProtectionPipeline([TopCoding(fraction=0.3), RankSwapping(p=5)])
+        masked = pipeline.protect(adult, attrs, seed=0)
+        # Top coding caps the maximum code; rank swapping permutes within
+        # the capped values, so the cap must still hold afterwards.
+        capped = TopCoding(fraction=0.3).protect(adult, attrs)
+        assert masked.column("EDUCATION").max() <= capped.column("EDUCATION").max()
+
+    def test_pipeline_describe_joins_stages(self):
+        pipeline = ProtectionPipeline([TopCoding(fraction=0.2), Pram(theta=0.1)])
+        assert "topcode" in pipeline.describe() and "pram" in pipeline.describe()
+
+    def test_pipeline_deterministic(self, adult):
+        pipeline = ProtectionPipeline([Pram(theta=0.2), RankSwapping(p=3)])
+        a = pipeline.protect(adult, ["EDUCATION"], seed=11)
+        b = pipeline.protect(adult, ["EDUCATION"], seed=11)
+        assert a.equals(b)
+
+    def test_pipeline_differs_from_single_stage(self, adult):
+        single = Pram(theta=0.2).protect(adult, ["EDUCATION"], seed=5)
+        double = ProtectionPipeline([Pram(theta=0.2), Pram(theta=0.2)]).protect(
+            adult, ["EDUCATION"], seed=5
+        )
+        assert not single.equals(double)

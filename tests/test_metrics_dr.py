@@ -1,0 +1,82 @@
+"""Unit tests for disclosure-risk measures: ID + linkage adapters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metrics import (
+    DistanceLinkageRisk,
+    IntervalDisclosure,
+    ProbabilisticLinkageRisk,
+    RankSwappingLinkageRisk,
+)
+from repro.methods import Pram, RankSwapping
+
+ATTRS = ["EDUCATION", "MARITAL-STATUS", "OCCUPATION"]
+
+
+class TestIntervalDisclosure:
+    def test_identity_scores_hundred(self, adult):
+        measure = IntervalDisclosure(adult, ATTRS)
+        assert measure.compute(adult) == 100.0
+
+    def test_masking_reduces_disclosure(self, adult):
+        measure = IntervalDisclosure(adult, ATTRS, width=0.05)
+        masked = Pram(theta=0.5).protect(adult, ATTRS, seed=0)
+        assert measure.compute(masked) < 100.0
+
+    def test_wider_interval_higher_disclosure(self, adult):
+        masked = Pram(theta=0.4).protect(adult, ATTRS, seed=1)
+        narrow = IntervalDisclosure(adult, ATTRS, width=0.02).compute(masked)
+        wide = IntervalDisclosure(adult, ATTRS, width=0.5).compute(masked)
+        assert wide >= narrow
+
+    @pytest.mark.parametrize("width", [0.0, 1.5, -0.1])
+    def test_bad_width(self, adult, width):
+        with pytest.raises(MetricError):
+            IntervalDisclosure(adult, ATTRS, width=width)
+
+    def test_small_rank_moves_stay_inside_interval(self, adult):
+        # Rank swapping with tiny p keeps values within a generous interval.
+        masked = RankSwapping(p=1).protect(adult, ATTRS, seed=2)
+        measure = IntervalDisclosure(adult, ATTRS, width=0.2)
+        assert measure.compute(masked) > 80.0
+
+
+class TestLinkageAdapters:
+    def test_dbrl_adapter_bounds(self, small_adult):
+        measure = DistanceLinkageRisk(small_adult, ATTRS)
+        masked = Pram(theta=0.3).protect(small_adult, ATTRS, seed=0)
+        assert 0.0 <= measure.compute(masked) <= 100.0
+
+    def test_prl_adapter_bounds(self, small_adult):
+        measure = ProbabilisticLinkageRisk(small_adult, ATTRS)
+        masked = Pram(theta=0.3).protect(small_adult, ATTRS, seed=0)
+        assert 0.0 <= measure.compute(masked) <= 100.0
+
+    def test_rsrl_adapter_bounds(self, small_adult):
+        measure = RankSwappingLinkageRisk(small_adult, ATTRS, window=0.1)
+        masked = RankSwapping(p=4).protect(small_adult, ATTRS, seed=0)
+        assert 0.0 <= measure.compute(masked) <= 100.0
+
+    def test_rsrl_bad_window(self, small_adult):
+        with pytest.raises(MetricError):
+            RankSwappingLinkageRisk(small_adult, ATTRS, window=0.0)
+
+    def test_stronger_masking_reduces_all_linkage_risks(self, small_adult):
+        mild = Pram(theta=0.05).protect(small_adult, ATTRS, seed=1)
+        strong = Pram(theta=0.7).protect(small_adult, ATTRS, seed=1)
+        for cls in (DistanceLinkageRisk, ProbabilisticLinkageRisk):
+            measure = cls(small_adult, ATTRS)
+            assert measure.compute(strong) < measure.compute(mild)
+
+    def test_incompatible_masked_rejected(self, small_adult, adult):
+        measure = DistanceLinkageRisk(small_adult, ATTRS)
+        with pytest.raises(Exception):
+            measure.compute(adult)
+
+    def test_empty_attributes_rejected(self, small_adult):
+        with pytest.raises(MetricError):
+            DistanceLinkageRisk(small_adult, [])

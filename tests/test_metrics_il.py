@@ -1,0 +1,128 @@
+"""Unit tests for the information-loss measures: CTBIL, DBIL, EBIL."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metrics import ContingencyTableLoss, DistanceBasedLoss, EntropyBasedLoss
+from repro.metrics.contingency import contingency_counts
+from repro.metrics.entropy_il import conditional_entropy_bits
+from repro.methods import GlobalRecoding, Pram, RankSwapping
+
+ATTRS = ["EDUCATION", "MARITAL-STATUS", "OCCUPATION"]
+
+
+class TestContingencyCounts:
+    def test_univariate_counts_match_value_counts(self, adult):
+        column = adult.schema.index_of("EDUCATION")
+        counts = contingency_counts(adult, [column])
+        assert np.array_equal(counts, adult.value_counts("EDUCATION"))
+
+    def test_bivariate_counts_sum_to_n(self, adult):
+        columns = [adult.schema.index_of(a) for a in ("EDUCATION", "SEX")]
+        counts = contingency_counts(adult, columns)
+        assert counts.sum() == adult.n_records
+        assert counts.shape == (16 * 2,)
+
+    def test_cell_limit_enforced(self, adult):
+        columns = [adult.schema.index_of(a) for a in adult.attribute_names]
+        # 16*7*14*8*6*5*2*41 cells > limit
+        with pytest.raises(MetricError, match="cells"):
+            contingency_counts(adult, columns * 3)
+
+
+class TestCTBIL:
+    def test_identity_scores_zero(self, adult):
+        measure = ContingencyTableLoss(adult, ATTRS)
+        assert measure.compute(adult) == 0.0
+
+    def test_rank_swapping_preserves_marginals_not_joints(self, adult):
+        masked = RankSwapping(p=10).protect(adult, ATTRS, seed=0)
+        order1 = ContingencyTableLoss(adult, ATTRS, max_order=1)
+        order2 = ContingencyTableLoss(adult, ATTRS, max_order=2)
+        # Marginal tables unchanged -> order-1 CTBIL exactly 0.
+        assert order1.compute(masked) == 0.0
+        # Joint structure broken -> order-2 CTBIL positive.
+        assert order2.compute(masked) > 0.0
+
+    def test_monotone_in_masking_strength(self, adult):
+        measure = ContingencyTableLoss(adult, ATTRS)
+        mild = Pram(theta=0.05).protect(adult, ATTRS, seed=1)
+        strong = Pram(theta=0.5).protect(adult, ATTRS, seed=1)
+        assert measure.compute(strong) > measure.compute(mild)
+
+    def test_bad_max_order(self, adult):
+        with pytest.raises(MetricError):
+            ContingencyTableLoss(adult, ATTRS, max_order=0)
+
+    def test_bounded(self, adult):
+        measure = ContingencyTableLoss(adult, ATTRS)
+        masked = Pram(theta=0.8).protect(adult, ATTRS, seed=2)
+        assert 0.0 <= measure.compute(masked) <= 100.0
+
+
+class TestDBIL:
+    def test_identity_scores_zero(self, adult):
+        assert DistanceBasedLoss(adult, ATTRS).compute(adult) == 0.0
+
+    def test_all_nominal_changed_scores_hundred(self, adult):
+        # Change every OCCUPATION value (nominal) -> per-attribute distance 1.
+        codes = adult.codes_copy()
+        column = adult.schema.index_of("OCCUPATION")
+        codes[:, column] = (codes[:, column] + 1) % adult.domain("OCCUPATION").size
+        masked = adult.with_codes(codes)
+        assert DistanceBasedLoss(adult, ["OCCUPATION"]).compute(masked) == 100.0
+
+    def test_ordinal_changes_weighted_by_distance(self, adult):
+        column = adult.schema.index_of("EDUCATION")
+        near = adult.codes_copy()
+        near[:, column] = np.clip(near[:, column] + 1, 0, 15)
+        far = adult.codes_copy()
+        far[:, column] = 15 - far[:, column]
+        measure = DistanceBasedLoss(adult, ["EDUCATION"])
+        assert measure.compute(adult.with_codes(near)) < measure.compute(adult.with_codes(far))
+
+
+class TestEBIL:
+    def test_identity_scores_zero(self, adult):
+        assert EntropyBasedLoss(adult, ATTRS).compute(adult) == 0.0
+
+    def test_deterministic_bijective_recoding_scores_zero(self, adult):
+        # A bijection leaks no information: conditional entropy is 0.
+        column = adult.schema.index_of("EDUCATION")
+        codes = adult.codes_copy()
+        codes[:, column] = 15 - codes[:, column]
+        masked = adult.with_codes(codes)
+        assert EntropyBasedLoss(adult, ["EDUCATION"]).compute(masked) == pytest.approx(0.0)
+
+    def test_constant_masking_scores_marginal_entropy(self, adult):
+        # Publishing one constant category makes masked useless: conditional
+        # entropy equals the marginal entropy of the original attribute.
+        column = adult.schema.index_of("EDUCATION")
+        codes = adult.codes_copy()
+        codes[:, column] = 0
+        masked = adult.with_codes(codes)
+        counts = adult.value_counts("EDUCATION").astype(float)
+        p = counts[counts > 0] / counts.sum()
+        marginal_entropy = float(-(p * np.log2(p)).sum())
+        expected = 100.0 * marginal_entropy / np.log2(16)
+        assert EntropyBasedLoss(adult, ["EDUCATION"]).compute(masked) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_monotone_in_pram_strength(self, adult):
+        measure = EntropyBasedLoss(adult, ATTRS)
+        mild = Pram(theta=0.1).protect(adult, ATTRS, seed=3)
+        strong = Pram(theta=0.6).protect(adult, ATTRS, seed=3)
+        assert measure.compute(strong) > measure.compute(mild)
+
+    def test_conditional_entropy_helper_uniform(self):
+        # Joint uniform over 2x2: H(row|col) = 1 bit per record.
+        joint = np.full((2, 2), 25.0)
+        assert conditional_entropy_bits(joint) == pytest.approx(100.0)
+
+    def test_recoding_loses_information(self, adult):
+        masked = GlobalRecoding(level=2).protect(adult, ["EDUCATION"])
+        assert EntropyBasedLoss(adult, ["EDUCATION"]).compute(masked) > 0.0

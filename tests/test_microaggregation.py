@@ -1,0 +1,101 @@
+"""Unit tests for categorical microaggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtectionError
+from repro.methods import Microaggregation
+from repro.methods.microaggregation import _aggregate, _group_boundaries
+
+
+class TestGroupBoundaries:
+    def test_exact_multiple(self):
+        assert _group_boundaries(9, 3) == [(0, 3), (3, 6), (6, 9)]
+
+    def test_remainder_absorbed_by_last_group(self):
+        boundaries = _group_boundaries(10, 3)
+        assert boundaries == [(0, 3), (3, 6), (6, 10)]
+        assert all(stop - start >= 3 for start, stop in boundaries)
+
+    def test_fewer_records_than_k(self):
+        assert _group_boundaries(2, 5) == [(0, 2)]
+
+    def test_every_record_covered_once(self):
+        boundaries = _group_boundaries(23, 4)
+        covered = [i for start, stop in boundaries for i in range(start, stop)]
+        assert covered == list(range(23))
+
+
+class TestAggregate:
+    def test_ordinal_median(self):
+        assert _aggregate(np.array([1, 2, 9]), ordinal=True) == 2
+
+    def test_nominal_mode(self):
+        assert _aggregate(np.array([3, 3, 1, 2]), ordinal=False) == 3
+
+    def test_nominal_mode_tie_lowest_code(self):
+        assert _aggregate(np.array([2, 1, 1, 2]), ordinal=False) == 1
+
+
+class TestMicroaggregation:
+    def test_k_validation(self):
+        with pytest.raises(ProtectionError):
+            Microaggregation(k=1)
+
+    def test_strategy_validation(self):
+        with pytest.raises(ProtectionError):
+            Microaggregation(strategy="cosmic")
+
+    def test_groups_have_at_least_k_identical_values(self, adult):
+        attrs = ("EDUCATION", "MARITAL-STATUS", "OCCUPATION")
+        masked = Microaggregation(k=5).protect(adult, attrs)
+        for attribute in attrs:
+            counts = masked.value_counts(attribute)
+            used = counts[counts > 0]
+            # Every published category must cover at least k records
+            # (groups may merge onto the same aggregate, only growing them).
+            assert used.min() >= 5
+
+    def test_larger_k_coarser(self, adult):
+        attrs = ("EDUCATION",)
+        small_k = Microaggregation(k=2).protect(adult, attrs)
+        large_k = Microaggregation(k=50).protect(adult, attrs)
+        distinct_small = (small_k.value_counts("EDUCATION") > 0).sum()
+        distinct_large = (large_k.value_counts("EDUCATION") > 0).sum()
+        assert distinct_large <= distinct_small
+
+    def test_untouched_attributes_identical(self, adult):
+        masked = Microaggregation(k=3).protect(adult, ("EDUCATION",))
+        for attribute in adult.attribute_names:
+            if attribute == "EDUCATION":
+                continue
+            assert np.array_equal(masked.column(attribute), adult.column(attribute))
+
+    def test_deterministic(self, adult):
+        attrs = ("EDUCATION", "OCCUPATION")
+        a = Microaggregation(k=4).protect(adult, attrs)
+        b = Microaggregation(k=4).protect(adult, attrs)
+        assert a.equals(b)
+
+    def test_joint_needs_sort_attributes(self, adult):
+        method = Microaggregation(k=3, strategy="joint")
+        with pytest.raises(ProtectionError, match="sort_attributes"):
+            method.protect(adult, ("EDUCATION",))
+
+    def test_joint_strategy_runs(self, adult):
+        attrs = ("EDUCATION", "MARITAL-STATUS")
+        method = Microaggregation(k=3, strategy="joint", sort_attributes=attrs)
+        masked = method.protect(adult, attrs)
+        assert masked.n_records == adult.n_records
+        assert adult.cells_changed(masked) > 0
+
+    def test_joint_and_univariate_differ(self, adult):
+        attrs = ("EDUCATION", "MARITAL-STATUS", "OCCUPATION")
+        univariate = Microaggregation(k=5).protect(adult, attrs)
+        joint = Microaggregation(k=5, strategy="joint", sort_attributes=attrs).protect(adult, attrs)
+        assert not univariate.equals(joint)
+
+    def test_describe(self):
+        assert Microaggregation(k=3).describe() == "microagg(k=3,univariate)"

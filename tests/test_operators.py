@@ -1,0 +1,126 @@
+"""Unit tests for the genetic operators (paper §2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import crossover, crossover_points, mutate
+from repro.exceptions import EvolutionError
+from repro.methods import Pram
+
+ATTRS = ["EDUCATION", "MARITAL-STATUS", "OCCUPATION"]
+
+
+class TestMutate:
+    def test_changes_exactly_one_cell(self, adult):
+        child = mutate(adult, ATTRS, seed=0)
+        assert adult.cells_changed(child) == 1
+
+    def test_changed_cell_in_protected_attribute(self, adult):
+        child = mutate(adult, ATTRS, seed=1)
+        rows, cols = np.nonzero(adult.codes != child.codes)
+        attribute = adult.attribute_names[cols[0]]
+        assert attribute in ATTRS
+
+    def test_new_value_differs_and_is_valid(self, adult):
+        for seed in range(20):
+            child = mutate(adult, ATTRS, seed=seed)
+            rows, cols = np.nonzero(adult.codes != child.codes)
+            row, col = rows[0], cols[0]
+            domain = adult.schema.domain(int(col))
+            assert child.codes[row, col] != adult.codes[row, col]
+            assert domain.contains_code(int(child.codes[row, col]))
+
+    def test_original_untouched(self, adult):
+        before = adult.codes.copy()
+        mutate(adult, ATTRS, seed=2)
+        assert np.array_equal(adult.codes, before)
+
+    def test_deterministic_in_seed(self, adult):
+        assert mutate(adult, ATTRS, seed=3).equals(mutate(adult, ATTRS, seed=3))
+
+    def test_empty_attributes_rejected(self, adult):
+        with pytest.raises(Exception):
+            mutate(adult, [], seed=0)
+
+    def test_custom_name(self, adult):
+        assert mutate(adult, ATTRS, seed=0, name="kid").name == "kid"
+
+
+class TestCrossover:
+    def test_offspring_complementary(self, adult):
+        """Cell-wise, each offspring takes its value from exactly one parent,
+        and the two offspring split the parents complementarily."""
+        other = Pram(theta=0.4).protect(adult, ATTRS, seed=0)
+        child_a, child_b = crossover(adult, other, ATTRS, seed=1)
+        columns = [adult.schema.index_of(a) for a in ATTRS]
+        pa = adult.codes[:, columns]
+        pb = other.codes[:, columns]
+        ca = child_a.codes[:, columns]
+        cb = child_b.codes[:, columns]
+        # Where child A kept parent A's value, child B holds parent B's, and
+        # vice versa: the multiset {ca, cb} == {pa, pb} cell-wise.
+        swapped = ca == pb
+        kept = ca == pa
+        assert np.logical_or(swapped, kept).all()
+        assert np.array_equal(np.where(ca == pa, pb, pa), cb) or np.logical_or(
+            cb == pa, cb == pb
+        ).all()
+
+    def test_swapped_region_contiguous(self, adult):
+        other = Pram(theta=0.9).protect(adult, ATTRS, seed=0)
+        child_a, __ = crossover(adult, other, ATTRS, seed=2)
+        columns = [adult.schema.index_of(a) for a in ATTRS]
+        flat_parent = adult.codes[:, columns].reshape(-1)
+        flat_other = other.codes[:, columns].reshape(-1)
+        flat_child = child_a.codes[:, columns].reshape(-1)
+        took_other = flat_child == flat_other
+        took_parent = flat_child == flat_parent
+        # Positions definitely from the other parent (parents differ there):
+        definite = np.nonzero(took_other & ~took_parent)[0]
+        if definite.size:
+            span = np.arange(definite[0], definite[-1] + 1)
+            # Everything inside the span must be explainable by the swap.
+            assert took_other[span].all()
+
+    def test_unprotected_attributes_never_cross(self, adult):
+        other = Pram(theta=0.4).protect(adult, ATTRS, seed=0)
+        child_a, child_b = crossover(adult, other, ATTRS, seed=3)
+        for attribute in adult.attribute_names:
+            if attribute in ATTRS:
+                continue
+            assert np.array_equal(child_a.column(attribute), adult.column(attribute))
+            assert np.array_equal(child_b.column(attribute), other.column(attribute))
+
+    def test_deterministic_in_seed(self, adult):
+        other = Pram(theta=0.4).protect(adult, ATTRS, seed=0)
+        a1, b1 = crossover(adult, other, ATTRS, seed=4)
+        a2, b2 = crossover(adult, other, ATTRS, seed=4)
+        assert a1.equals(a2) and b1.equals(b2)
+
+    def test_parents_untouched(self, adult):
+        other = Pram(theta=0.4).protect(adult, ATTRS, seed=0)
+        before_a, before_b = adult.codes.copy(), other.codes.copy()
+        crossover(adult, other, ATTRS, seed=5)
+        assert np.array_equal(adult.codes, before_a)
+        assert np.array_equal(other.codes, before_b)
+
+    def test_names_applied(self, adult):
+        other = Pram(theta=0.4).protect(adult, ATTRS, seed=0)
+        child_a, child_b = crossover(adult, other, ATTRS, seed=6, names=("ka", "kb"))
+        assert child_a.name == "ka" and child_b.name == "kb"
+
+
+class TestCrossoverPoints:
+    def test_r_at_least_s(self):
+        for seed in range(50):
+            s, r = crossover_points(100, seed=seed)
+            assert 0 <= s <= r < 100
+
+    def test_single_position(self):
+        assert crossover_points(1, seed=0) == (0, 0)
+
+    def test_bad_length(self):
+        with pytest.raises(EvolutionError):
+            crossover_points(0)

@@ -1,0 +1,123 @@
+"""Unit tests for PRAM and invariant PRAM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtectionError
+from repro.methods import (
+    InvariantPram,
+    Pram,
+    apply_transition_matrix,
+    basic_transition_matrix,
+    invariant_transition_matrix,
+)
+
+
+class TestBasicMatrix:
+    def test_rows_sum_to_one(self):
+        counts = np.array([10, 5, 1, 0])
+        matrix = basic_transition_matrix(counts, theta=0.3)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_diagonal_is_one_minus_theta(self):
+        matrix = basic_transition_matrix(np.array([4, 4, 4]), theta=0.25)
+        np.testing.assert_allclose(np.diag(matrix), 0.75)
+
+    def test_off_diagonal_proportional_to_frequency(self):
+        counts = np.array([100, 50, 10])
+        matrix = basic_transition_matrix(counts, theta=0.5)
+        # From category 2, transitions to 0 should outnumber transitions to 1.
+        assert matrix[2, 0] > matrix[2, 1]
+
+    def test_single_category(self):
+        matrix = basic_transition_matrix(np.array([7]), theta=0.2)
+        assert matrix.shape == (1, 1)
+        assert matrix[0, 0] == 1.0
+
+    @pytest.mark.parametrize("theta", [0.0, 1.0, -0.5])
+    def test_bad_theta(self, theta):
+        with pytest.raises(ProtectionError):
+            basic_transition_matrix(np.array([1, 2]), theta=theta)
+
+    def test_zero_frequencies_smoothed(self):
+        matrix = basic_transition_matrix(np.array([0, 0, 0]), theta=0.4)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+        assert (matrix >= 0).all()
+
+
+class TestInvariantMatrix:
+    def test_rows_sum_to_one(self):
+        matrix = invariant_transition_matrix(np.array([30, 20, 10, 5]), theta=0.3)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_invariance_property(self):
+        """p R = p for the smoothed marginal p — the defining property."""
+        counts = np.array([30, 20, 10, 5], dtype=float)
+        p = (counts + 1) / (counts.sum() + counts.size)
+        matrix = invariant_transition_matrix(counts, theta=0.3)
+        np.testing.assert_allclose(p @ matrix, p, atol=1e-10)
+
+    def test_single_category(self):
+        assert invariant_transition_matrix(np.array([5]), theta=0.2).tolist() == [[1.0]]
+
+
+class TestApplyMatrix:
+    def test_identity_matrix_is_noop(self):
+        values = np.array([0, 1, 2, 1])
+        out = apply_transition_matrix(values, np.eye(3), np.random.default_rng(0))
+        assert np.array_equal(out, values)
+
+    def test_values_out_of_range_rejected(self):
+        with pytest.raises(ProtectionError):
+            apply_transition_matrix(np.array([5]), np.eye(3), np.random.default_rng(0))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ProtectionError):
+            apply_transition_matrix(np.array([0]), np.ones((2, 3)), np.random.default_rng(0))
+
+    def test_transition_frequencies_match_matrix(self):
+        rng = np.random.default_rng(42)
+        matrix = basic_transition_matrix(np.array([50, 30, 20]), theta=0.4)
+        values = np.zeros(30000, dtype=np.int64)
+        out = apply_transition_matrix(values, matrix, rng)
+        observed = np.bincount(out, minlength=3) / 30000
+        np.testing.assert_allclose(observed, matrix[0], atol=0.02)
+
+
+class TestPramMethods:
+    def test_change_rate_tracks_theta(self, adult):
+        attrs = ("EDUCATION", "MARITAL-STATUS", "OCCUPATION")
+        low = Pram(theta=0.05).protect(adult, attrs, seed=0)
+        high = Pram(theta=0.5).protect(adult, attrs, seed=0)
+        assert adult.cells_changed(high) > adult.cells_changed(low)
+
+    def test_expected_change_rate(self, adult):
+        attrs = ("EDUCATION", "MARITAL-STATUS", "OCCUPATION")
+        masked = Pram(theta=0.2).protect(adult, attrs, seed=1)
+        rate = adult.cells_changed(masked) / (adult.n_records * len(attrs))
+        assert 0.15 <= rate <= 0.25
+
+    def test_invariant_pram_preserves_marginals_approximately(self, adult):
+        attrs = ("EDUCATION",)
+        masked = InvariantPram(theta=0.3).protect(adult, attrs, seed=5)
+        original_freq = adult.value_counts("EDUCATION") / adult.n_records
+        masked_freq = masked.value_counts("EDUCATION") / adult.n_records
+        # Invariant PRAM preserves marginals in expectation; at n=1000 the
+        # realized drift should be small.
+        assert np.abs(original_freq - masked_freq).max() < 0.05
+
+    def test_seed_reproducible(self, adult):
+        a = Pram(theta=0.2).protect(adult, ("EDUCATION",), seed=3)
+        b = Pram(theta=0.2).protect(adult, ("EDUCATION",), seed=3)
+        assert a.equals(b)
+
+    @pytest.mark.parametrize("theta", [0.0, 1.0])
+    def test_bad_theta(self, theta):
+        with pytest.raises(ProtectionError):
+            Pram(theta=theta)
+
+    def test_describe(self):
+        assert Pram(theta=0.2).describe() == "pram(theta=0.2)"
+        assert InvariantPram(theta=0.2).describe() == "ipram(theta=0.2)"

@@ -1,0 +1,81 @@
+"""Property-based tests (hypothesis) for the data substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import CategoricalDataset, CategoricalDomain, DatasetSchema
+
+
+@st.composite
+def domains(draw, name="X"):
+    size = draw(st.integers(min_value=1, max_value=12))
+    ordinal = draw(st.booleans())
+    return CategoricalDomain(name, [f"{name}{i}" for i in range(size)], ordinal=ordinal)
+
+
+@st.composite
+def datasets(draw, max_records=30, max_attributes=4):
+    n_attributes = draw(st.integers(min_value=1, max_value=max_attributes))
+    schema = DatasetSchema([draw(domains(name=f"A{i}")) for i in range(n_attributes)])
+    n_records = draw(st.integers(min_value=1, max_value=max_records))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31)))
+    codes = np.column_stack(
+        [rng.integers(0, schema.domain(i).size, size=n_records) for i in range(n_attributes)]
+    )
+    return CategoricalDataset(codes, schema)
+
+
+class TestDomainProperties:
+    @given(domains())
+    def test_code_label_bijection(self, domain):
+        for code in range(domain.size):
+            assert domain.code(domain.label(code)) == code
+
+    @given(domains(), st.integers(min_value=0, max_value=11))
+    def test_contains_consistent_with_label(self, domain, code):
+        if domain.contains_code(code):
+            assert domain.contains_label(domain.label(code))
+
+
+class TestDatasetProperties:
+    @given(datasets())
+    @settings(max_examples=40)
+    def test_label_roundtrip(self, dataset):
+        rebuilt = CategoricalDataset.from_labels(dataset.to_labels(), dataset.schema)
+        assert rebuilt.equals(dataset)
+
+    @given(datasets())
+    @settings(max_examples=40)
+    def test_value_counts_sum_to_records(self, dataset):
+        for attribute in dataset.attribute_names:
+            assert dataset.value_counts(attribute).sum() == dataset.n_records
+
+    @given(datasets())
+    @settings(max_examples=40)
+    def test_cells_changed_zero_iff_equal(self, dataset):
+        clone = dataset.with_codes(dataset.codes_copy())
+        assert dataset.cells_changed(clone) == 0
+        assert dataset.equals(clone)
+
+    @given(datasets(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40)
+    def test_cells_changed_counts_differences(self, dataset, seed):
+        rng = np.random.default_rng(seed)
+        codes = dataset.codes_copy()
+        row = int(rng.integers(dataset.n_records))
+        col = int(rng.integers(dataset.n_attributes))
+        size = dataset.schema.domain(col).size
+        original = codes[row, col]
+        codes[row, col] = (original + 1) % size
+        changed = dataset.with_codes(codes)
+        expected = 0 if size == 1 else 1
+        assert dataset.cells_changed(changed) == expected
+
+    @given(datasets())
+    @settings(max_examples=40)
+    def test_fingerprint_equality_matches_content(self, dataset):
+        clone = dataset.with_codes(dataset.codes_copy(), name="other-name")
+        assert dataset.fingerprint() == clone.fingerprint()

@@ -1,0 +1,131 @@
+"""Property-based tests for the genetic operators and selection.
+
+These pin the invariants the paper's algorithm depends on:
+
+* mutation changes exactly one protected cell to another in-domain value;
+* crossover swaps a contiguous flattened range, so cell-wise the two
+  offspring hold exactly the two parents' values (conservation), and
+  offspring equal their parents outside the swapped range;
+* selection probabilities are a valid distribution for every strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import crossover, mutate
+from repro.core.selection import STRATEGIES, selection_probabilities
+from repro.data import CategoricalDataset, CategoricalDomain, DatasetSchema
+
+
+@st.composite
+def masked_pairs(draw):
+    """A small dataset pair sharing a schema, plus the protected attributes."""
+    n_attributes = draw(st.integers(min_value=1, max_value=3))
+    sizes = [draw(st.integers(min_value=2, max_value=8)) for __ in range(n_attributes)]
+    schema = DatasetSchema(
+        [
+            CategoricalDomain(f"A{i}", [f"c{j}" for j in range(size)], ordinal=bool(i % 2))
+            for i, size in enumerate(sizes)
+        ]
+    )
+    n_records = draw(st.integers(min_value=1, max_value=25))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31)))
+    make = lambda: CategoricalDataset(
+        np.column_stack(
+            [rng.integers(0, size, size=n_records) for size in sizes]
+        ),
+        schema,
+    )
+    attrs = draw(
+        st.lists(
+            st.sampled_from([f"A{i}" for i in range(n_attributes)]),
+            min_size=1,
+            max_size=n_attributes,
+            unique=True,
+        )
+    )
+    return make(), make(), attrs
+
+
+class TestMutationProperties:
+    @given(masked_pairs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60)
+    def test_exactly_one_cell_changes_inside_domain(self, pair, seed):
+        dataset, __, attrs = pair
+        child = mutate(dataset, attrs, seed=seed)
+        diff = dataset.codes != child.codes
+        assert diff.sum() == 1
+        row, col = map(int, np.argwhere(diff)[0])
+        domain = dataset.schema.domain(col)
+        assert domain.name in attrs
+        assert 0 <= child.codes[row, col] < domain.size
+        assert child.codes[row, col] != dataset.codes[row, col]
+
+
+class TestCrossoverProperties:
+    @given(masked_pairs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60)
+    def test_cellwise_conservation(self, pair, seed):
+        first, second, attrs = pair
+        child_a, child_b = crossover(first, second, attrs, seed=seed)
+        columns = [first.schema.index_of(a) for a in attrs]
+        pa, pb = first.codes[:, columns], second.codes[:, columns]
+        ca, cb = child_a.codes[:, columns], child_b.codes[:, columns]
+        # Each cell of the children comes from the corresponding cell of a
+        # parent, and jointly the children hold both parents' cells.
+        swapped = (ca == pb) & (cb == pa)
+        kept = (ca == pa) & (cb == pb)
+        assert np.logical_or(swapped, kept).all()
+
+    @given(masked_pairs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60)
+    def test_swap_region_contiguous_in_flat_order(self, pair, seed):
+        first, second, attrs = pair
+        child_a, __ = crossover(first, second, attrs, seed=seed)
+        columns = [first.schema.index_of(a) for a in attrs]
+        flat_parent = first.codes[:, columns].reshape(-1)
+        flat_other = second.codes[:, columns].reshape(-1)
+        flat_child = child_a.codes[:, columns].reshape(-1)
+        definitely_swapped = np.nonzero((flat_child == flat_other) & (flat_child != flat_parent))[0]
+        if definitely_swapped.size >= 2:
+            lo, hi = definitely_swapped[0], definitely_swapped[-1]
+            inside = np.arange(lo, hi + 1)
+            # Inside the inferred swap range every cell must match the
+            # other parent (it was swapped wholesale).
+            assert (flat_child[inside] == flat_other[inside]).all()
+
+    @given(masked_pairs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=60)
+    def test_unprotected_columns_inherit_from_own_parent(self, pair, seed):
+        first, second, attrs = pair
+        child_a, child_b = crossover(first, second, attrs, seed=seed)
+        for i, name in enumerate(first.attribute_names):
+            if name in attrs:
+                continue
+            assert np.array_equal(child_a.codes[:, i], first.codes[:, i])
+            assert np.array_equal(child_b.codes[:, i], second.codes[:, i])
+
+
+class TestSelectionProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=40),
+        st.sampled_from(STRATEGIES),
+    )
+    @settings(max_examples=120)
+    def test_valid_probability_distribution(self, scores, strategy):
+        probs = selection_probabilities(np.array(scores), strategy)
+        assert probs.shape == (len(scores),)
+        assert (probs >= 0).all()
+        assert probs.sum() == np.float64(1.0) or abs(probs.sum() - 1.0) < 1e-9
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=2, max_size=40))
+    @settings(max_examples=80)
+    def test_proportional_monotone_in_score(self, scores):
+        values = np.array(scores)
+        probs = selection_probabilities(values, "proportional")
+        order = np.argsort(values)
+        sorted_probs = probs[order]
+        assert (np.diff(sorted_probs) <= 1e-12).all()

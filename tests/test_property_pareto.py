@@ -1,0 +1,82 @@
+"""Property-based tests for the Pareto machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import crowding_distance, dominates, non_dominated_sort
+
+
+@st.composite
+def matrices(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    n = draw(st.integers(min_value=1, max_value=30))
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, 100, size=(n, 2))
+
+
+class TestDominanceProperties:
+    @given(st.tuples(st.floats(0, 100), st.floats(0, 100)),
+           st.tuples(st.floats(0, 100), st.floats(0, 100)))
+    def test_antisymmetric(self, a, b):
+        assert not (dominates(a, b) and dominates(b, a))
+
+    @given(st.tuples(st.floats(0, 100), st.floats(0, 100)))
+    def test_irreflexive(self, a):
+        assert not dominates(a, a)
+
+
+class TestSortProperties:
+    @given(matrices())
+    @settings(max_examples=60)
+    def test_fronts_partition_indices(self, objectives):
+        fronts = non_dominated_sort(objectives)
+        flat = sorted(i for front in fronts for i in front.tolist())
+        assert flat == list(range(objectives.shape[0]))
+
+    @given(matrices())
+    @settings(max_examples=60)
+    def test_front0_matches_bruteforce(self, objectives):
+        fronts = non_dominated_sort(objectives)
+        brute = {
+            i
+            for i in range(objectives.shape[0])
+            if not any(
+                dominates(tuple(objectives[j]), tuple(objectives[i]))
+                for j in range(objectives.shape[0])
+            )
+        }
+        assert set(fronts[0].tolist()) == brute
+
+    @given(matrices())
+    @settings(max_examples=60)
+    def test_later_fronts_dominated_by_earlier(self, objectives):
+        fronts = non_dominated_sort(objectives)
+        for earlier, later in zip(fronts, fronts[1:]):
+            for j in later:
+                assert any(
+                    dominates(tuple(objectives[int(i)]), tuple(objectives[int(j)]))
+                    for i in earlier
+                )
+
+
+class TestCrowdingProperties:
+    @given(matrices())
+    @settings(max_examples=60)
+    def test_distances_non_negative(self, objectives):
+        distances = crowding_distance(objectives)
+        assert (distances >= 0).all()
+
+    @given(matrices())
+    @settings(max_examples=60)
+    def test_extremes_infinite(self, objectives):
+        if objectives.shape[0] < 3:
+            return
+        distances = crowding_distance(objectives)
+        for objective in range(objectives.shape[1]):
+            span = objectives[:, objective].max() - objectives[:, objective].min()
+            if span > 0:
+                assert np.isinf(distances[int(np.argmin(objectives[:, objective]))])
+                assert np.isinf(distances[int(np.argmax(objectives[:, objective]))])

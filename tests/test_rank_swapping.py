@@ -1,0 +1,66 @@
+"""Unit tests for rank swapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtectionError
+from repro.methods import RankSwapping
+
+
+class TestValidation:
+    @pytest.mark.parametrize("p", [0, -1, 101])
+    def test_bad_p(self, p):
+        with pytest.raises(ProtectionError):
+            RankSwapping(p=p)
+
+    def test_describe(self):
+        assert RankSwapping(p=5).describe() == "rankswap(p=5)"
+
+
+class TestMarginalPreservation:
+    """Rank swapping permutes values: marginals are preserved exactly."""
+
+    @pytest.mark.parametrize("p", [1, 5, 20])
+    def test_value_counts_unchanged(self, adult, p):
+        attrs = ("EDUCATION", "MARITAL-STATUS", "OCCUPATION")
+        masked = RankSwapping(p=p).protect(adult, attrs, seed=3)
+        for attribute in attrs:
+            assert np.array_equal(
+                masked.value_counts(attribute), adult.value_counts(attribute)
+            )
+
+    def test_column_is_permutation(self, adult):
+        masked = RankSwapping(p=10).protect(adult, ("EDUCATION",), seed=1)
+        assert sorted(masked.column("EDUCATION")) == sorted(adult.column("EDUCATION"))
+
+
+class TestWindow:
+    def test_small_window_small_moves(self, adult):
+        # Ordinal attribute: with p=1 the swapped value's rank moves by at
+        # most ~1% of records, so code distance should stay tiny.
+        masked = RankSwapping(p=1).protect(adult, ("EDUCATION",), seed=2)
+        moved = np.abs(masked.column("EDUCATION") - adult.column("EDUCATION"))
+        assert moved.max() <= 2
+
+    def test_larger_p_changes_more(self, adult):
+        small = RankSwapping(p=1).protect(adult, ("EDUCATION",), seed=4)
+        large = RankSwapping(p=30).protect(adult, ("EDUCATION",), seed=4)
+        dist_small = np.abs(small.column("EDUCATION") - adult.column("EDUCATION")).sum()
+        dist_large = np.abs(large.column("EDUCATION") - adult.column("EDUCATION")).sum()
+        assert dist_large > dist_small
+
+    def test_seed_reproducible(self, adult):
+        a = RankSwapping(p=5).protect(adult, ("EDUCATION",), seed=9)
+        b = RankSwapping(p=5).protect(adult, ("EDUCATION",), seed=9)
+        assert a.equals(b)
+
+    def test_different_seeds_differ(self, adult):
+        a = RankSwapping(p=5).protect(adult, ("EDUCATION",), seed=1)
+        b = RankSwapping(p=5).protect(adult, ("EDUCATION",), seed=2)
+        assert not a.equals(b)
+
+    def test_untouched_attributes_identical(self, adult):
+        masked = RankSwapping(p=5).protect(adult, ("EDUCATION",), seed=1)
+        assert np.array_equal(masked.column("SEX"), adult.column("SEX"))

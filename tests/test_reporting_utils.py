@@ -1,0 +1,138 @@
+"""Unit tests for reporting, tables, timing and RNG utilities."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionHistory, GenerationRecord
+from repro.experiments import DispersionData, render_dispersion, render_evolution, render_improvements, render_timing
+from repro.experiments.figures import evolution_rows
+from repro.experiments.reporting import ascii_scatter, render_grid
+from repro.utils import Stopwatch, as_generator, format_table, spawn_generators
+
+
+def record(generation, operator="mutation"):
+    return GenerationRecord(generation, operator, 50.0 - generation, 30.0 - generation,
+                            10.0, 1, 0.01, 0.001, True)
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(["name", "value"], [["a", 1.2345], ["bb", 2]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.23" in text
+        assert "-+-" in lines[2]
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        watch.start("work")
+        time.sleep(0.01)
+        elapsed = watch.stop("work")
+        assert elapsed > 0
+        assert watch.total("work") == pytest.approx(elapsed)
+        assert watch.count("work") == 1
+        assert watch.mean("work") == pytest.approx(elapsed)
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch()
+        watch.start("x")
+        with pytest.raises(ValueError):
+            watch.start("x")
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(ValueError):
+            Stopwatch().stop("x")
+
+    def test_unknown_label_zero(self):
+        watch = Stopwatch()
+        assert watch.total("never") == 0.0
+        assert watch.mean("never") == 0.0
+        assert watch.labels() == []
+
+
+class TestRng:
+    def test_int_seed(self):
+        a = as_generator(5).integers(1000)
+        b = as_generator(5).integers(1000)
+        assert a == b
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_spawn_independent(self):
+        children = spawn_generators(3, 4)
+        assert len(children) == 4
+        draws = [g.integers(10**9) for g in children]
+        assert len(set(draws)) == 4
+
+    def test_spawn_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestRendering:
+    def _history(self, n=6):
+        history = EvolutionHistory()
+        for i in range(1, n + 1):
+            history.append(record(i, operator="mutation" if i % 2 else "crossover"))
+        return history
+
+    def test_render_improvements_contains_series(self):
+        text = render_improvements(self._history(), "title")
+        assert "max" in text and "mean" in text and "min" in text
+
+    def test_render_evolution_subsamples(self):
+        text = render_evolution(self._history(30), "evo", max_rows=5)
+        assert text.count("\n") < 30
+
+    def test_evolution_rows_includes_last_generation(self):
+        rows = evolution_rows(self._history(10), stride=3)
+        assert rows[-1][0] == 10
+
+    def test_evolution_rows_bad_stride(self):
+        with pytest.raises(ValueError):
+            evolution_rows(self._history(3), stride=0)
+
+    def test_render_timing_mentions_operators(self):
+        text = render_timing(self._history(), "timing")
+        assert "mutation" in text and "crossover" in text
+
+    def test_ascii_scatter_and_grid(self):
+        grid = ascii_scatter([(0, 0), (50, 50), (100, 100)], "o")
+        grid = ascii_scatter([(25, 75)], "x", grid=grid)
+        text = render_grid(grid, "plot")
+        assert "o" in text and "x" in text
+        assert text.splitlines()[0] == "plot"
+
+    def test_scatter_clamps_out_of_range(self):
+        grid = ascii_scatter([(-10, 500)], "z")
+        assert any("z" in "".join(row) for row in grid)
+
+    def test_render_dispersion_reports_imbalance(self):
+        data = DispersionData(initial=[(10, 40)], final=[(20, 22)])
+        text = render_dispersion(data, "disp")
+        assert "30.00" in text  # initial imbalance
+        assert "2.00" in text  # final imbalance
+
+
+class TestDispersionData:
+    def test_imbalance_means(self):
+        data = DispersionData(initial=[(0, 10), (10, 30)], final=[(5, 5)])
+        assert data.initial_mean_imbalance() == 15.0
+        assert data.final_mean_imbalance() == 0.0
+
+    def test_empty_clouds(self):
+        data = DispersionData(initial=[], final=[])
+        assert data.initial_mean_imbalance() == 0.0
+        assert data.final_mean_imbalance() == 0.0

@@ -1,0 +1,75 @@
+"""Unit tests for the score aggregation functions (paper Eqs. 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metrics import (
+    MaxScore,
+    MeanScore,
+    PowerMeanScore,
+    WeightedScore,
+    score_function_by_name,
+)
+
+
+class TestMeanScore:
+    def test_equation1(self):
+        assert MeanScore()(20.0, 40.0) == 30.0
+
+    def test_permits_perfect_tradeoff(self):
+        # The paper's criticism of Eq. 1: (0, 40) and (20, 20) tie.
+        assert MeanScore()(0.0, 40.0) == MeanScore()(20.0, 20.0)
+
+
+class TestMaxScore:
+    def test_equation2(self):
+        assert MaxScore()(20.0, 40.0) == 40.0
+
+    def test_penalizes_imbalance(self):
+        # The paper's motivation for Eq. 2: the unbalanced pair loses.
+        assert MaxScore()(0.0, 40.0) > MaxScore()(20.0, 20.0)
+
+    def test_symmetric(self):
+        assert MaxScore()(40.0, 20.0) == MaxScore()(20.0, 40.0)
+
+
+class TestWeightedScore:
+    def test_weights(self):
+        assert WeightedScore(0.75)(40.0, 20.0) == pytest.approx(35.0)
+
+    def test_half_weight_equals_mean(self):
+        assert WeightedScore(0.5)(13.0, 29.0) == MeanScore()(13.0, 29.0)
+
+    @pytest.mark.parametrize("weight", [-0.1, 1.1])
+    def test_bad_weight(self, weight):
+        with pytest.raises(MetricError):
+            WeightedScore(weight)
+
+
+class TestPowerMeanScore:
+    def test_exponent_one_is_mean(self):
+        assert PowerMeanScore(1.0)(10.0, 30.0) == pytest.approx(20.0)
+
+    def test_large_exponent_approaches_max(self):
+        assert PowerMeanScore(64.0)(10.0, 30.0) == pytest.approx(30.0, rel=0.05)
+
+    def test_between_mean_and_max(self):
+        value = PowerMeanScore(4.0)(10.0, 30.0)
+        assert 20.0 < value < 30.0
+
+    def test_bad_exponent(self):
+        with pytest.raises(MetricError):
+            PowerMeanScore(0.5)
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name,cls", [("mean", MeanScore), ("max", MaxScore),
+                                           ("weighted", WeightedScore), ("power_mean", PowerMeanScore)])
+    def test_by_name(self, name, cls):
+        assert isinstance(score_function_by_name(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(MetricError):
+            score_function_by_name("geometric")

@@ -1,0 +1,142 @@
+"""Unit tests for selection strategies and replacement policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Individual,
+    Population,
+    crowding_pairs,
+    deterministic_crowding,
+    elitist_survivor,
+    select_index,
+    select_leader,
+    selection_probabilities,
+)
+from repro.exceptions import EvolutionError
+from repro.metrics import ProtectionScore
+
+
+def individual(dataset, score: float, origin: str = "initial") -> Individual:
+    return Individual(dataset, ProtectionScore(score, score, score), origin=origin)
+
+
+@pytest.fixture
+def ranked_population(adult):
+    """Five individuals with scores 10 < 20 < 30 < 40 < 50."""
+    return Population([individual(adult, 10.0 * (i + 1)) for i in range(5)])
+
+
+class TestSelectionProbabilities:
+    def test_probabilities_sum_to_one(self):
+        for strategy in ("proportional", "literal", "rank", "uniform"):
+            probs = selection_probabilities(np.array([10.0, 20.0, 30.0]), strategy)
+            assert probs.sum() == pytest.approx(1.0)
+
+    def test_proportional_favours_low_scores(self):
+        probs = selection_probabilities(np.array([10.0, 20.0, 30.0]), "proportional")
+        assert probs[0] > probs[1] > probs[2]
+
+    def test_literal_favours_high_scores(self):
+        # Eq. 3 exactly as printed: worse scores get more probability.
+        probs = selection_probabilities(np.array([10.0, 20.0, 30.0]), "literal")
+        assert probs[2] > probs[1] > probs[0]
+
+    def test_rank_insensitive_to_scale(self):
+        a = selection_probabilities(np.array([1.0, 2.0, 3.0]), "rank")
+        b = selection_probabilities(np.array([1.0, 2.0, 3000.0]), "rank")
+        np.testing.assert_allclose(a, b)
+
+    def test_uniform(self):
+        probs = selection_probabilities(np.array([5.0, 50.0]), "uniform")
+        np.testing.assert_allclose(probs, [0.5, 0.5])
+
+    def test_equal_scores_uniform_under_proportional(self):
+        probs = selection_probabilities(np.array([7.0, 7.0, 7.0]), "proportional")
+        np.testing.assert_allclose(probs, 1 / 3)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(EvolutionError):
+            selection_probabilities(np.array([1.0]), "tournament")
+
+    def test_negative_scores_rejected(self):
+        with pytest.raises(EvolutionError):
+            selection_probabilities(np.array([-1.0]), "proportional")
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvolutionError):
+            selection_probabilities(np.array([]), "proportional")
+
+
+class TestSelectIndex:
+    def test_proportional_empirically_favours_best(self, ranked_population):
+        rng = np.random.default_rng(0)
+        draws = [select_index(ranked_population, "proportional", rng) for __ in range(2000)]
+        counts = np.bincount(draws, minlength=5)
+        assert counts[0] > counts[4]
+
+    def test_selection_deterministic_given_rng_state(self, ranked_population):
+        a = select_index(ranked_population, "proportional", np.random.default_rng(3))
+        b = select_index(ranked_population, "proportional", np.random.default_rng(3))
+        assert a == b
+
+
+class TestSelectLeader:
+    def test_leader_only_from_best(self, ranked_population):
+        rng = np.random.default_rng(1)
+        for __ in range(200):
+            index = select_leader(ranked_population, leader_count=2, seed=rng)
+            assert ranked_population[index].score in (10.0, 20.0)
+
+    def test_leader_count_clamped(self, ranked_population):
+        index = select_leader(ranked_population, leader_count=50, seed=0)
+        assert 0 <= index < 5
+
+
+class TestElitism:
+    def test_better_child_survives(self, adult):
+        parent, child = individual(adult, 30.0), individual(adult, 20.0)
+        assert elitist_survivor(parent, child) is child
+
+    def test_worse_child_dies(self, adult):
+        parent, child = individual(adult, 20.0), individual(adult, 30.0)
+        assert elitist_survivor(parent, child) is parent
+
+    def test_tie_goes_to_child(self, adult):
+        parent, child = individual(adult, 20.0), individual(adult, 20.0)
+        assert elitist_survivor(parent, child) is child
+
+
+class TestDeterministicCrowding:
+    def test_index_pairing(self, adult):
+        parents = (individual(adult, 10.0), individual(adult, 40.0))
+        children = (individual(adult, 20.0), individual(adult, 30.0))
+        pairs = crowding_pairs(parents, children, pairing="index")
+        assert pairs == [(parents[0], children[0]), (parents[1], children[1])]
+
+    def test_distance_pairing_minimizes_total_distance(self, adult):
+        from repro.core import mutate
+
+        ATTRS = ["EDUCATION"]
+        near_parent0 = mutate(adult, ATTRS, seed=0)
+        far = mutate(mutate(mutate(adult, ATTRS, seed=1), ATTRS, seed=2), ATTRS, seed=3)
+        parents = (individual(adult, 10.0), individual(far, 40.0))
+        # children[0] is far from parent 0 but identical to parent 1 and
+        # children[1] is near parent 0: distance pairing must cross them.
+        children = (individual(far, 20.0), individual(near_parent0, 30.0))
+        pairs = crowding_pairs(parents, children, pairing="distance")
+        assert pairs == [(parents[0], children[1]), (parents[1], children[0])]
+
+    def test_survivors_best_of_each_pair(self, adult):
+        parents = (individual(adult, 10.0), individual(adult, 40.0))
+        children = (individual(adult, 20.0), individual(adult, 30.0))
+        survivors = deterministic_crowding(parents, children, pairing="index")
+        assert survivors[0] is parents[0]  # 10 beats 20
+        assert survivors[1] is children[1]  # 30 beats 40
+
+    def test_unknown_pairing(self, adult):
+        parents = (individual(adult, 1.0), individual(adult, 2.0))
+        with pytest.raises(ValueError):
+            crowding_pairs(parents, parents, pairing="nearest")
