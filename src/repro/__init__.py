@@ -145,15 +145,36 @@ __all__ = [
     "AnyOf",
     # experiments (lazy)
     "build_initial_population",
+    # service (lazy)
+    "ProtectionJob",
+    "JobResult",
+    "JobRunner",
+    "EvaluationCache",
+    "CheckpointManager",
+    "JobStore",
 ]
+
+_SERVICE_NAMES = {
+    "ProtectionJob",
+    "JobResult",
+    "JobRunner",
+    "EvaluationCache",
+    "CheckpointManager",
+    "JobStore",
+}
 
 
 def __getattr__(name: str):
-    # build_initial_population lives in repro.experiments, which imports
-    # repro.methods; importing it lazily avoids a package import cycle
-    # while keeping it available at the top level (as the docstring shows).
+    # build_initial_population and the service layer live above
+    # repro.experiments, which imports repro.methods; importing them
+    # lazily avoids a package import cycle while keeping them available
+    # at the top level (as the docstring shows).
     if name == "build_initial_population":
         from repro.experiments.population_builder import build_initial_population
 
         return build_initial_population
+    if name in _SERVICE_NAMES:
+        import repro.service as service
+
+        return getattr(service, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -206,6 +206,151 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- service subcommands ----------------------------------------------------
+
+
+def _job_store(args: argparse.Namespace):
+    from repro.service.store import JobStore
+
+    return JobStore(args.state_dir) if args.state_dir else JobStore()
+
+
+def _parse_seeds(args: argparse.Namespace) -> list[int]:
+    if args.seeds:
+        try:
+            return [int(s) for s in args.seeds.split(",") if s.strip()]
+        except ValueError:
+            raise ReproError(f"bad --seeds {args.seeds!r}; expected comma-separated ints")
+    return [args.seed]
+
+
+def _result_row(record) -> list[object]:
+    result = record.result
+    return [
+        record.job_id,
+        record.job.dataset,
+        record.job.score,
+        record.job.generations,
+        record.status,
+        f"{result.best_score:.4f}" if result else "-",
+        result.fresh_evaluations if result else "-",
+        result.persistent_hits if result else "-",
+        f"{result.wall_seconds:.1f}s" if result else "-",
+    ]
+
+
+_STATUS_HEADER = ["job", "dataset", "score", "gens", "status", "best", "fresh", "cached", "wall"]
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.job import ProtectionJob
+    from repro.service.runner import JobRunner
+
+    store = _job_store(args)
+    base = ProtectionJob(
+        dataset=args.dataset,
+        score=args.score,
+        generations=args.generations,
+        seed=args.seed,
+        drop_best_fraction=args.drop_best,
+    )
+    jobs = [base.with_seed(seed) for seed in _parse_seeds(args)]
+    records = [store.submit(job) for job in jobs]
+    pending = [r for r in records if r.status != "completed"]
+    for record in records:
+        if record.status == "completed":
+            print(f"{record.job_id}: already completed, skipping (resubmit idempotent)")
+    if pending:
+        runner = JobRunner(
+            backend=args.backend,
+            max_workers=args.workers,
+            cache_path=None if args.no_cache else str(store.cache_path),
+            checkpoint_dir=str(store.checkpoints_dir),
+            checkpoint_every=args.checkpoint_every,
+        )
+        for record in pending:
+            record.extras["checkpoint_every"] = args.checkpoint_every
+            store.mark_running(record)
+        failures = 0
+        for record, outcome in zip(pending, runner.run_settled([r.job for r in pending])):
+            if outcome.ok:
+                store.mark_completed(record, outcome.result)
+            else:
+                failures += 1
+                store.mark_failed(record, outcome.error)
+                print(f"{record.job_id} failed: {outcome.error}", file=sys.stderr)
+    rows = [_result_row(store.get(record.job_id)) for record in records]
+    print(format_table(_STATUS_HEADER, rows, title=f"submitted via {args.backend} backend"))
+    print(f"state dir: {store.root}")
+    return 1 if pending and failures else 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    store = _job_store(args)
+    if args.job:
+        record = store.get(args.job)
+        print(format_table(_STATUS_HEADER, [_result_row(record)], title=record.job_id))
+        if record.error:
+            print(f"error: {record.error}")
+        if record.result and record.result.checkpoint_path:
+            print(f"checkpoint: {record.result.checkpoint_path}")
+        return 0
+    records = store.records()
+    if not records:
+        print(f"no jobs in {store.root}")
+        return 0
+    print(format_table(_STATUS_HEADER, [_result_row(r) for r in records],
+                       title=f"jobs in {store.root}"))
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.service.runner import JobRunner
+
+    store = _job_store(args)
+    record = store.get(args.job)
+    if record.status == "completed" and not args.force:
+        print(f"{record.job_id} is already completed; use --force to re-resume")
+        return 0
+    checkpoint = store.checkpoints_dir / f"{record.job_id}.json"
+    if not checkpoint.exists():
+        raise ReproError(
+            f"no checkpoint for {record.job_id} under {store.checkpoints_dir}; "
+            "was the job submitted with --checkpoint-every?"
+        )
+    runner = JobRunner(
+        backend=args.backend,
+        max_workers=args.workers,
+        cache_path=None if args.no_cache else str(store.cache_path),
+        checkpoint_dir=str(store.checkpoints_dir),
+        checkpoint_every=int(record.extras.get("checkpoint_every", 0)),
+    )
+    store.mark_running(record)
+    try:
+        (result,) = runner.run([record.job], resume=True)
+    except Exception as exc:  # noqa: BLE001 - job failure is service state
+        store.mark_failed(record, str(exc))
+        raise
+    store.mark_completed(record, result)
+    print(format_table(_STATUS_HEADER, [_result_row(record)],
+                       title=f"resumed {record.job_id}"))
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.service.cache import EvaluationCache
+
+    store = _job_store(args)
+    with EvaluationCache(store.cache_path) as cache:
+        if args.clear:
+            removed = cache.clear()
+            print(f"cleared {removed} cached evaluations from {store.cache_path}")
+        else:
+            print(f"cache: {store.cache_path}")
+            print(f"entries: {len(cache)}")
+    return 0
+
+
 # -- parser ----------------------------------------------------------------
 
 
@@ -264,6 +409,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drop-best", type=float, default=0.0)
     p.add_argument("--directory", required=True)
     p.set_defaults(fn=cmd_export)
+
+    def add_service_options(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--state-dir", default="",
+                        help="service state directory (default: $REPRO_HOME or ~/.repro)")
+        sp.add_argument("--backend", default="serial", choices=["serial", "thread", "process"])
+        sp.add_argument("--workers", type=int, default=None, help="pool size cap")
+        sp.add_argument("--no-cache", action="store_true",
+                        help="skip the persistent evaluation cache")
+
+    p = sub.add_parser("submit", help="submit protection jobs to the service and run them")
+    p.add_argument("--dataset", required=True, choices=sorted(PAPER_SPECS))
+    p.add_argument("--score", default="max", choices=["mean", "max", "weighted", "power_mean"])
+    p.add_argument("--generations", type=int, default=300)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--seeds", default="", help="comma-separated replicate seeds (overrides --seed)")
+    p.add_argument("--drop-best", type=float, default=0.0)
+    p.add_argument("--checkpoint-every", type=int, default=25,
+                   help="generations between checkpoints (0 disables)")
+    add_service_options(p)
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("status", help="show the service's job table")
+    p.add_argument("--job", default="", help="show one job in detail")
+    p.add_argument("--state-dir", default="")
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("resume", help="resume an interrupted job from its checkpoint")
+    p.add_argument("--job", required=True)
+    p.add_argument("--force", action="store_true", help="re-resume a completed job")
+    add_service_options(p)
+    p.set_defaults(fn=cmd_resume)
+
+    p = sub.add_parser("cache", help="inspect or clear the persistent evaluation cache")
+    p.add_argument("--clear", action="store_true")
+    p.add_argument("--state-dir", default="")
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("experiment", help="run a paper experiment end to end")
     p.add_argument("--id", required=True, choices=["e1", "e2", "e3"])

@@ -1,6 +1,6 @@
 """The paper's primary contribution: the evolutionary protection engine."""
 
-from repro.core.engine import EvolutionaryProtector, EvolutionResult
+from repro.core.engine import EngineCheckpoint, EvolutionaryProtector, EvolutionResult
 from repro.core.history import EvolutionHistory, GenerationRecord
 from repro.core.individual import Individual
 from repro.core.operators import crossover, crossover_points, mutate
@@ -17,6 +17,7 @@ from repro.core.selection import STRATEGIES, select_index, select_leader, select
 from repro.core.stopping import AnyOf, MaxGenerations, Stagnation, StoppingRule, TargetScore
 
 __all__ = [
+    "EngineCheckpoint",
     "EvolutionaryProtector",
     "EvolutionResult",
     "EvolutionHistory",

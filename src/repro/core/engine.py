@@ -22,6 +22,7 @@ whose memoization it shares across generations.
 
 from __future__ import annotations
 
+import copy
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
@@ -62,6 +63,25 @@ class EvolutionResult:
     def final_dispersion(self) -> list[tuple[float, float]]:
         """(IL, DR) cloud of the final population (dispersion figures)."""
         return self.population.dispersion()
+
+
+@dataclass(frozen=True)
+class EngineCheckpoint:
+    """Complete mid-run engine state, sufficient to continue the run.
+
+    Captures the population, the initial snapshot, the history so far,
+    the generation counter, and the RNG bit-generator state.  Resuming
+    from a checkpoint with :meth:`EvolutionaryProtector.resume` replays
+    the exact stochastic stream the uninterrupted run would have drawn,
+    so an interrupted-and-resumed run is bit-identical to a straight one.
+    Serialization to disk lives in :mod:`repro.service.checkpoint`.
+    """
+
+    generation: int
+    initial: list[Individual]
+    individuals: list[Individual]
+    records: list[GenerationRecord]
+    rng_state: dict
 
 
 class EvolutionaryProtector:
@@ -106,7 +126,9 @@ class EvolutionaryProtector:
                 f"unknown selection strategy {selection_strategy!r}; choose from {STRATEGIES}"
             )
         if crowding_pairing not in ("index", "distance"):
-            raise EvolutionError(f"crowding_pairing must be 'index' or 'distance'")
+            raise EvolutionError(
+                f"crowding_pairing must be 'index' or 'distance', got {crowding_pairing!r}"
+            )
         self.evaluator = evaluator
         self.mutation_probability = float(mutation_probability)
         self.leader_fraction = float(leader_fraction)
@@ -129,33 +151,112 @@ class EvolutionaryProtector:
         initial: Sequence[CategoricalDataset] | Sequence[Individual],
         stopping: StoppingRule | int = 200,
         on_generation: Callable[[GenerationRecord], None] | None = None,
+        checkpoint_every: int = 0,
+        on_checkpoint: Callable[[EngineCheckpoint], None] | None = None,
     ) -> EvolutionResult:
         """Run the GA until ``stopping`` fires; returns the full result.
 
         ``initial`` may be raw protected files (scored here) or already
         scored :class:`Individual` objects.  ``stopping`` may be a rule
-        or an int shorthand for :class:`MaxGenerations`.
+        or an int shorthand for :class:`MaxGenerations`.  When
+        ``checkpoint_every`` is positive, ``on_checkpoint`` receives an
+        :class:`EngineCheckpoint` after every that-many generations (and
+        once more when the run ends), enabling interrupt-safe restarts.
         """
-        if isinstance(stopping, int):
-            stopping = MaxGenerations(stopping)
         individuals = self._coerce_initial(initial)
         if len(individuals) < 2:
             raise EvolutionError("the GA needs a population of at least 2 protections")
-
         population = Population(individuals)
-        initial_snapshot = population.snapshot()
-        history = EvolutionHistory()
+        return self._loop(
+            population=population,
+            initial_snapshot=population.snapshot(),
+            history=EvolutionHistory(),
+            generation=0,
+            stopping=stopping,
+            on_generation=on_generation,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+        )
 
-        generation = 0
+    def resume(
+        self,
+        checkpoint: EngineCheckpoint,
+        stopping: StoppingRule | int = 200,
+        on_generation: Callable[[GenerationRecord], None] | None = None,
+        checkpoint_every: int = 0,
+        on_checkpoint: Callable[[EngineCheckpoint], None] | None = None,
+    ) -> EvolutionResult:
+        """Continue a checkpointed run exactly where it left off.
+
+        Restores the population, the history, the generation counter and
+        the RNG stream, then keeps stepping until ``stopping`` fires
+        (count-based rules see the restored history, so e.g.
+        ``MaxGenerations(200)`` means 200 generations *total*).  Given
+        the same evaluator configuration, resume is bit-identical to
+        never having stopped.
+        """
+        if not checkpoint.individuals:
+            raise EvolutionError("checkpoint holds an empty population")
+        self._rng.bit_generator.state = copy.deepcopy(checkpoint.rng_state)
+        return self._loop(
+            population=Population(checkpoint.individuals),
+            initial_snapshot=list(checkpoint.initial),
+            history=EvolutionHistory(list(checkpoint.records)),
+            generation=checkpoint.generation,
+            stopping=stopping,
+            on_generation=on_generation,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _loop(
+        self,
+        population: Population,
+        initial_snapshot: list[Individual],
+        history: EvolutionHistory,
+        generation: int,
+        stopping: StoppingRule | int,
+        on_generation: Callable[[GenerationRecord], None] | None,
+        checkpoint_every: int,
+        on_checkpoint: Callable[[EngineCheckpoint], None] | None,
+    ) -> EvolutionResult:
+        if isinstance(stopping, int):
+            stopping = MaxGenerations(stopping)
+        if checkpoint_every < 0:
+            raise EvolutionError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        emit = on_checkpoint if checkpoint_every else None
+        stepped = False
         while not stopping.should_stop(history):
             generation += 1
             record = self._step(population, generation)
             history.append(record)
+            stepped = True
             if on_generation is not None:
                 on_generation(record)
+            if emit is not None and generation % checkpoint_every == 0:
+                emit(self._capture(population, initial_snapshot, history, generation))
+        if emit is not None and stepped and generation % checkpoint_every != 0:
+            # Final partial interval, so a completed run's last checkpoint
+            # always matches its returned result.
+            emit(self._capture(population, initial_snapshot, history, generation))
         return EvolutionResult(initial=initial_snapshot, population=population, history=history)
 
-    # -- internals ----------------------------------------------------------
+    def _capture(
+        self,
+        population: Population,
+        initial_snapshot: list[Individual],
+        history: EvolutionHistory,
+        generation: int,
+    ) -> EngineCheckpoint:
+        return EngineCheckpoint(
+            generation=generation,
+            initial=list(initial_snapshot),
+            individuals=population.snapshot(),
+            records=list(history.records),
+            rng_state=copy.deepcopy(self._rng.bit_generator.state),
+        )
 
     def _coerce_initial(
         self, initial: Sequence[CategoricalDataset] | Sequence[Individual]

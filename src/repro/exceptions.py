@@ -46,3 +46,7 @@ class HierarchyError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class ServiceError(ReproError):
+    """The job-orchestration service hit an invalid job, cache, or checkpoint."""

@@ -14,15 +14,20 @@ longer, closer-to-paper runs.
 from __future__ import annotations
 
 import os
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.core.engine import EvolutionaryProtector, EvolutionResult
+from repro.core.engine import EngineCheckpoint, EvolutionaryProtector, EvolutionResult
 from repro.core.individual import Individual
 from repro.datasets.registry import load_dataset, protected_attributes
 from repro.exceptions import ExperimentError
 from repro.experiments.population_builder import build_initial_population
-from repro.metrics.evaluation import ProtectionEvaluator
+from repro.metrics.evaluation import ProtectionEvaluator, ScoreCache
 from repro.metrics.score import score_function_by_name
+
+if TYPE_CHECKING:
+    from repro.service.job import JobResult
 
 
 def default_generations(fallback: int = 300) -> int:
@@ -92,14 +97,30 @@ def drop_best(
     return ordered[n_drop:], ordered[:n_drop]
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Execute one configured paper run end to end."""
+def run_experiment(
+    config: ExperimentConfig,
+    evaluation_cache: ScoreCache | None = None,
+    checkpoint_every: int = 0,
+    on_checkpoint: Callable[[EngineCheckpoint], None] | None = None,
+    resume_from: EngineCheckpoint | None = None,
+) -> ExperimentResult:
+    """Execute one configured paper run end to end.
+
+    ``evaluation_cache`` is handed to the evaluator as its persistent
+    score store, so repeated runs skip already-scored candidates.
+    ``checkpoint_every`` / ``on_checkpoint`` forward to the engine's
+    checkpoint hook, and ``resume_from`` continues a checkpointed run
+    instead of building and scoring a fresh initial population (the
+    individuals dropped by ``drop_best_fraction`` are not part of a
+    checkpoint, so a resumed result reports none).
+    """
     original = load_dataset(config.dataset)
     attributes = protected_attributes(config.dataset)
     evaluator = ProtectionEvaluator(
         original,
         attributes,
         score_function=score_function_by_name(config.score),
+        persistent_cache=evaluation_cache,
     )
     engine = EvolutionaryProtector(
         evaluator,
@@ -108,10 +129,44 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         selection_strategy=config.selection_strategy,
         seed=config.seed,
     )
+    if resume_from is not None:
+        result = engine.resume(
+            resume_from,
+            stopping=config.generations,
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=on_checkpoint,
+        )
+        return ExperimentResult(config=config, result=result, evaluator=evaluator)
     protections = build_initial_population(
         original, dataset_name=config.dataset, seed=config.population_seed
     )
     individuals = engine.evaluate_initial(protections)
     kept, dropped = drop_best(individuals, config.drop_best_fraction)
-    result = engine.run(kept, stopping=config.generations)
+    result = engine.run(
+        kept,
+        stopping=config.generations,
+        checkpoint_every=checkpoint_every,
+        on_checkpoint=on_checkpoint,
+    )
     return ExperimentResult(config=config, result=result, evaluator=evaluator, dropped=dropped)
+
+
+def run_replicates(
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    backend: str = "serial",
+    max_workers: int | None = None,
+    cache_path: str | None = None,
+) -> "list[JobResult]":
+    """Run one configuration under several seeds through the job service.
+
+    Routes the replicates through :class:`repro.service.runner.JobRunner`
+    (imported lazily — the service layer sits above this module), so the
+    fan-out honours the chosen execution backend and, when ``cache_path``
+    is given, shares one persistent evaluation cache across replicates.
+    """
+    from repro.service.job import ProtectionJob
+    from repro.service.runner import JobRunner
+
+    runner = JobRunner(backend=backend, max_workers=max_workers, cache_path=cache_path)
+    return runner.run_replicates(ProtectionJob.from_config(config), seeds)

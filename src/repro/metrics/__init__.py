@@ -15,6 +15,7 @@ from repro.metrics.entropy_il import EntropyBasedLoss, conditional_entropy_bits
 from repro.metrics.evaluation import (
     ProtectionEvaluator,
     ProtectionScore,
+    ScoreCache,
     default_dr_measures,
     default_il_measures,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "score_function_by_name",
     "ProtectionEvaluator",
     "ProtectionScore",
+    "ScoreCache",
     "default_il_measures",
     "default_dr_measures",
     "UniquenessRisk",

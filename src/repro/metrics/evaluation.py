@@ -17,9 +17,12 @@ lever of the reproduction.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import OrderedDict
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 from repro.data.dataset import CategoricalDataset
 from repro.exceptions import MetricError
@@ -61,6 +64,25 @@ class ProtectionScore:
         )
 
 
+@runtime_checkable
+class ScoreCache(Protocol):
+    """Persistent score store the evaluator consults behind its memo cache.
+
+    Implementations (e.g. :class:`repro.service.cache.EvaluationCache`)
+    survive the process: keys are content hashes covering the original
+    file, the masked candidate, and the measure configuration, so a hit
+    is exactly as trustworthy as recomputing.
+    """
+
+    def get(self, key: str) -> "ProtectionScore | None":
+        """Return the stored score for ``key``, or ``None`` on a miss."""
+        ...
+
+    def put(self, key: str, score: "ProtectionScore") -> None:
+        """Store ``score`` under ``key`` (overwriting any previous entry)."""
+        ...
+
+
 def default_il_measures(
     original: CategoricalDataset, attributes: Sequence[str]
 ) -> list[InformationLossMeasure]:
@@ -100,6 +122,10 @@ class ProtectionEvaluator:
         Aggregation of (IL, DR); defaults to the paper's Eq. 2 max score.
     cache_size:
         Number of memoized evaluations (LRU); 0 disables caching.
+    persistent_cache:
+        Optional :class:`ScoreCache` consulted on in-memory misses and
+        fed every fresh evaluation, so repeated runs and restarted jobs
+        skip already-scored candidates.
     """
 
     def __init__(
@@ -110,6 +136,7 @@ class ProtectionEvaluator:
         dr_measures: Sequence[DisclosureRiskMeasure] | None = None,
         score_function: ScoreFunction | None = None,
         cache_size: int = 8192,
+        persistent_cache: ScoreCache | None = None,
     ) -> None:
         if cache_size < 0:
             raise MetricError(f"cache_size must be >= 0, got {cache_size}")
@@ -130,18 +157,87 @@ class ProtectionEvaluator:
         self.score_function = score_function if score_function is not None else MaxScore()
         self._cache_size = cache_size
         self._cache: OrderedDict[bytes, ProtectionScore] = OrderedDict()
+        self.persistent_cache = persistent_cache
+        self._config_fingerprint: str | None = None
         self.evaluations = 0
         self.cache_hits = 0
+        self.persistent_hits = 0
+
+    @staticmethod
+    def _component_signature(component: object, name: str) -> dict:
+        """Identity of one measure / score function, parameters included.
+
+        Captures the class plus every public scalar attribute (``width``,
+        ``max_order``, weights, ...), so two instances of the same class
+        with different parameters never fingerprint alike.
+        """
+        params: dict[str, object] = {}
+        for key, value in sorted(vars(component).items()):
+            if key.startswith("_"):
+                continue
+            if isinstance(value, (bool, int, float, str)):
+                params[key] = value
+            elif isinstance(value, (tuple, list)) and all(
+                isinstance(item, (bool, int, float, str)) for item in value
+            ):
+                params[key] = list(value)
+        return {"name": name, "type": type(component).__qualname__, "params": params}
+
+    def config_fingerprint(self) -> str:
+        """Stable hash of the bound measure configuration.
+
+        Covers the original file's content, the protected attributes, the
+        measure stacks (with their parameters), and the score function —
+        everything that changes the meaning of a :class:`ProtectionScore`.
+        Persistent caches key on it so entries from a differently-
+        configured evaluator can never be confused.
+        """
+        if self._config_fingerprint is None:
+            payload = {
+                "original": hashlib.sha256(self.original.fingerprint()).hexdigest(),
+                "attributes": list(self.attributes),
+                "il_measures": [
+                    self._component_signature(m, m.measure_name) for m in self.il_measures
+                ],
+                "dr_measures": [
+                    self._component_signature(m, m.measure_name) for m in self.dr_measures
+                ],
+                "score": self._component_signature(
+                    self.score_function, self.score_function.score_name
+                ),
+            }
+            blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self._config_fingerprint = hashlib.sha256(blob).hexdigest()
+        return self._config_fingerprint
+
+    def _persistent_key(self, content_fingerprint: bytes) -> str:
+        digest = hashlib.sha256(self.config_fingerprint().encode("ascii"))
+        digest.update(content_fingerprint)
+        return digest.hexdigest()
+
+    def cache_key(self, masked: CategoricalDataset) -> str:
+        """Persistent-cache key of one candidate under this configuration."""
+        return self._persistent_key(masked.fingerprint())
 
     def evaluate(self, masked: CategoricalDataset) -> ProtectionScore:
         """Full score for ``masked`` (memoized by content)."""
-        key = masked.fingerprint() if self._cache_size else b""
+        use_fingerprint = self._cache_size or self.persistent_cache is not None
+        key = masked.fingerprint() if use_fingerprint else b""
         if self._cache_size:
             cached = self._cache.get(key)
             if cached is not None:
                 self._cache.move_to_end(key)
                 self.cache_hits += 1
                 return cached
+
+        persistent_key = ""
+        if self.persistent_cache is not None:
+            persistent_key = self._persistent_key(key)
+            stored = self.persistent_cache.get(persistent_key)
+            if stored is not None:
+                self.persistent_hits += 1
+                self._memoize(key, stored)
+                return stored
 
         il_components = {m.measure_name: m.compute(masked) for m in self.il_measures}
         dr_components = {m.measure_name: m.compute(masked) for m in self.dr_measures}
@@ -156,11 +252,17 @@ class ProtectionEvaluator:
         )
         self.evaluations += 1
 
-        if self._cache_size:
-            self._cache[key] = result
-            if len(self._cache) > self._cache_size:
-                self._cache.popitem(last=False)
+        if self.persistent_cache is not None:
+            self.persistent_cache.put(persistent_key, result)
+        self._memoize(key, result)
         return result
+
+    def _memoize(self, key: bytes, result: ProtectionScore) -> None:
+        if not self._cache_size:
+            return
+        self._cache[key] = result
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
 
     def rescore(self, score: ProtectionScore) -> ProtectionScore:
         """Re-aggregate an existing evaluation under this evaluator's score function.
@@ -182,6 +284,7 @@ class ProtectionEvaluator:
             "size": len(self._cache),
             "capacity": self._cache_size,
             "hits": self.cache_hits,
+            "persistent_hits": self.persistent_hits,
             "misses": self.evaluations,
         }
 

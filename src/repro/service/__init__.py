@@ -1,0 +1,50 @@
+"""Job-orchestration service: queueing, parallel execution, caching, resume.
+
+The service layer turns the library's single-run building blocks into an
+operable system: :class:`ProtectionJob` is the durable unit of work,
+:class:`JobRunner` fans jobs out over serial / thread / process
+backends, :class:`EvaluationCache` persists fitness evaluations across
+runs and processes, :class:`CheckpointManager` makes long GA runs
+interrupt-safe, and :class:`JobStore` keeps job lifecycle state on disk
+for the ``repro submit`` / ``status`` / ``resume`` CLI.
+"""
+
+from repro.service.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    create_backend,
+)
+from repro.service.cache import EvaluationCache, score_from_dict, score_to_dict
+from repro.service.checkpoint import (
+    CheckpointManager,
+    checkpoint_from_dict,
+    checkpoint_to_dict,
+)
+from repro.service.job import JobResult, ProtectionJob
+from repro.service.runner import JobOutcome, JobRunner
+from repro.service.store import JobRecord, JobStore, default_state_dir
+
+__all__ = [
+    "ProtectionJob",
+    "JobResult",
+    "JobRunner",
+    "JobOutcome",
+    "EvaluationCache",
+    "score_to_dict",
+    "score_from_dict",
+    "CheckpointManager",
+    "checkpoint_to_dict",
+    "checkpoint_from_dict",
+    "JobStore",
+    "JobRecord",
+    "default_state_dir",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "create_backend",
+]

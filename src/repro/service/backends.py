@@ -1,0 +1,118 @@
+"""Pluggable execution backends for the job runner.
+
+A backend turns "run this function over these items" into serial,
+thread-parallel or process-parallel execution with identical semantics:
+results come back in submission order and worker exceptions propagate to
+the caller.  The GA itself is deterministic per seed, so the backend is
+purely a throughput choice — every backend produces byte-identical
+results for the same jobs.
+
+* ``serial`` — in-process loop; zero overhead, the reference semantics.
+* ``thread`` — :class:`~concurrent.futures.ThreadPoolExecutor`; best for
+  workloads dominated by numpy (which releases the GIL) or I/O.
+* ``process`` — :class:`~concurrent.futures.ProcessPoolExecutor`; true
+  multi-core fan-out, requires picklable functions and payloads.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TypeVar
+
+from repro.exceptions import ServiceError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ExecutionBackend(ABC):
+    """Maps a function over payloads, preserving submission order."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Run ``fn`` over ``items``; results in order, exceptions raised."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, one-at-a-time execution — the reference backend."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class _PoolBackend(ExecutionBackend):
+    """Shared sizing logic of the two pool-based backends."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    def _workers(self, n_items: int) -> int:
+        limit = self.max_workers or os.cpu_count() or 1
+        return max(1, min(limit, n_items))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class ThreadBackend(_PoolBackend):
+    """Thread-pool execution; shares memory, overlaps GIL-releasing work."""
+
+    name = "thread"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        if not items:
+            return []
+        with ThreadPoolExecutor(max_workers=self._workers(len(items))) as pool:
+            return list(pool.map(fn, items))
+
+
+class ProcessBackend(_PoolBackend):
+    """Process-pool execution; full parallelism, picklable payloads only."""
+
+    name = "process"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        if not items:
+            return []
+        with ProcessPoolExecutor(max_workers=self._workers(len(items))) as pool:
+            return list(pool.map(fn, items))
+
+
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def create_backend(
+    backend: str | ExecutionBackend, max_workers: int | None = None
+) -> ExecutionBackend:
+    """Resolve a backend name (or pass through an instance).
+
+    ``max_workers`` caps pool size for the pooled backends and is
+    rejected for ``serial``, where it could only mislead.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend not in BACKENDS:
+        raise ServiceError(
+            f"unknown backend {backend!r}; choose from {', '.join(sorted(BACKENDS))}"
+        )
+    if backend == SerialBackend.name:
+        if max_workers not in (None, 1):
+            raise ServiceError("serial backend does not take max_workers")
+        return SerialBackend()
+    return BACKENDS[backend](max_workers=max_workers)

@@ -1,0 +1,149 @@
+"""Persistent evaluation cache — scores that survive the process.
+
+The paper notes (and the engine's timing records confirm) that fitness
+evaluation dominates GA wall-clock time.  The in-process memo cache of
+:class:`~repro.metrics.evaluation.ProtectionEvaluator` already collapses
+re-scoring *within* a run; :class:`EvaluationCache` extends that across
+runs, restarts and worker processes with a disk-backed sqlite store.
+
+Keys are the evaluator's :meth:`~repro.metrics.evaluation
+.ProtectionEvaluator.cache_key` — a hash covering the original file, the
+masked candidate and the full measure configuration — so a hit is exactly
+as trustworthy as recomputing.  sqlite (WAL mode) gives safe concurrent
+access from the thread and process execution backends; every worker
+simply opens its own handle on the same file.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from pathlib import Path
+
+from repro.exceptions import ServiceError
+from repro.metrics.evaluation import ProtectionScore
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS evaluations (
+    key TEXT PRIMARY KEY,
+    payload TEXT NOT NULL
+)
+"""
+
+
+def score_to_dict(score: ProtectionScore) -> dict:
+    """JSON-ready representation of a :class:`ProtectionScore`."""
+    return {
+        "information_loss": score.information_loss,
+        "disclosure_risk": score.disclosure_risk,
+        "score": score.score,
+        "il_components": dict(score.il_components),
+        "dr_components": dict(score.dr_components),
+    }
+
+
+def score_from_dict(payload: dict) -> ProtectionScore:
+    """Rebuild a :class:`ProtectionScore` from :func:`score_to_dict` output."""
+    try:
+        return ProtectionScore(
+            information_loss=payload["information_loss"],
+            disclosure_risk=payload["disclosure_risk"],
+            score=payload["score"],
+            il_components=dict(payload.get("il_components", {})),
+            dr_components=dict(payload.get("dr_components", {})),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ServiceError(f"malformed cached score payload: {exc}") from exc
+
+
+class EvaluationCache:
+    """Disk-backed score store implementing the evaluator's cache protocol.
+
+    Parameters
+    ----------
+    path:
+        sqlite file location; parent directories are created on demand.
+    readonly:
+        When true, :meth:`put` becomes a no-op — useful for serving
+        traffic from a pre-warmed cache without write contention.
+    """
+
+    def __init__(self, path: str | Path, readonly: bool = False) -> None:
+        self.path = Path(path)
+        self.readonly = readonly
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(_SCHEMA)
+            self._conn.commit()
+
+    # -- ScoreCache protocol ------------------------------------------------
+
+    def get(self, key: str) -> ProtectionScore | None:
+        """Stored score for ``key``, or ``None`` on a miss."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM evaluations WHERE key = ?", (key,)
+            ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return score_from_dict(json.loads(row[0]))
+
+    def put(self, key: str, score: ProtectionScore) -> None:
+        """Store ``score`` under ``key`` (last writer wins)."""
+        if self.readonly:
+            return
+        payload = json.dumps(score_to_dict(score))
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO evaluations (key, payload) VALUES (?, ?)",
+                (key, payload),
+            )
+            self._conn.commit()
+        self.writes += 1
+
+    # -- maintenance --------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()
+        return int(count)
+
+    def clear(self) -> int:
+        """Drop every stored evaluation; returns how many were removed."""
+        with self._lock:
+            removed = self._conn.execute("DELETE FROM evaluations").rowcount
+            self._conn.commit()
+        return int(removed)
+
+    def stats(self) -> dict[str, int]:
+        """Session counters plus the current on-disk entry count."""
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+    def close(self) -> None:
+        """Close the underlying sqlite handle."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "EvaluationCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"EvaluationCache({str(self.path)!r}, hits={self.hits}, misses={self.misses})"

@@ -1,0 +1,120 @@
+"""Job model of the orchestration service.
+
+A :class:`ProtectionJob` is the unit of work the service moves around:
+one fully-specified protection run — dataset reference, GA / engine
+configuration, and run seed.  Jobs are frozen values with a stable
+content fingerprint, so identical submissions deduplicate, cache entries
+survive restarts, and a job can be round-tripped through JSON (the job
+store, the process backend) without losing identity.
+
+A finished job is summarized by a :class:`JobResult`: the endpoint
+scores plus the evaluation-cache accounting the acceptance tests and the
+``repro status`` table report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.exceptions import ServiceError
+from repro.experiments.runner import ExperimentConfig
+
+
+@dataclass(frozen=True)
+class ProtectionJob:
+    """One fully-specified protection run, identified by its content.
+
+    The fields mirror :class:`repro.experiments.runner.ExperimentConfig`
+    so a job converts losslessly to the experiment harness; the service
+    adds identity (:meth:`fingerprint`, :attr:`job_id`) on top.
+    """
+
+    dataset: str
+    score: str = "max"
+    generations: int = 300
+    seed: int = 42
+    population_seed: int = 0
+    drop_best_fraction: float = 0.0
+    mutation_probability: float = 0.5
+    leader_fraction: float = 0.1
+    selection_strategy: str = "proportional"
+
+    def fingerprint(self) -> str:
+        """Stable content hash: equal jobs hash equal, always."""
+        blob = json.dumps(asdict(self), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    @property
+    def job_id(self) -> str:
+        """Human-scannable id: dataset, seed, and a fingerprint prefix."""
+        return f"{self.dataset}-s{self.seed}-{self.fingerprint()[:10]}"
+
+    def with_seed(self, seed: int) -> "ProtectionJob":
+        """The same job under a different run seed (replicates)."""
+        return replace(self, seed=seed)
+
+    def to_config(self) -> ExperimentConfig:
+        """The experiment-harness view of this job."""
+        return ExperimentConfig(**asdict(self))
+
+    @classmethod
+    def from_config(cls, config: ExperimentConfig) -> "ProtectionJob":
+        """Wrap an existing experiment configuration as a job."""
+        return cls(**asdict(config))
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProtectionJob":
+        """Rebuild a job from :meth:`to_dict` output."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise ServiceError(f"unknown job fields: {sorted(unknown)}")
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Compact, serializable summary of one finished job.
+
+    ``final_scores`` keeps the full final-population score vector in
+    population order, which is what the backend-equivalence guarantees
+    compare ("byte-identical to the serial path").  The cache counters
+    split evaluation work into fresh metric computations
+    (``fresh_evaluations``), in-process memo hits (``memo_hits``) and
+    persistent-store hits (``persistent_hits``).
+    """
+
+    job_id: str
+    dataset: str
+    seed: int
+    generations: int
+    best_score: float
+    best_information_loss: float
+    best_disclosure_risk: float
+    final_scores: tuple[float, ...]
+    mean_improvement_percent: float
+    fresh_evaluations: int
+    memo_hits: int
+    persistent_hits: int
+    wall_seconds: float
+    checkpoint_path: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        payload = asdict(self)
+        payload["final_scores"] = list(self.final_scores)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        data = dict(payload)
+        data["final_scores"] = tuple(data.get("final_scores", ()))
+        return cls(**data)

@@ -1,0 +1,317 @@
+"""The job runner: queue of protection jobs, fanned out over a backend.
+
+:class:`JobRunner` is the execution heart of the service layer.  It takes
+:class:`~repro.service.job.ProtectionJob` values and runs them through a
+pluggable :mod:`execution backend <repro.service.backends>` — serially,
+on a thread pool, or on a process pool — while threading the shared
+persistent evaluation cache and per-job checkpoint files through every
+worker.  Three fan-out shapes cover the workloads the experiments need:
+
+* :meth:`JobRunner.run` / :meth:`JobRunner.run_replicates` — multi-seed
+  experiment replicates;
+* :meth:`JobRunner.run_grid` — method-comparison grids over datasets,
+  score functions and seeds;
+* :meth:`JobRunner.score_population` — scoring an initial population of
+  protected files in parallel batches.
+
+Because the GA is deterministic per seed and cache hits return exactly
+the stored computation, every backend produces byte-identical scores for
+the same job list.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.data.dataset import CategoricalDataset
+from repro.datasets.registry import load_dataset
+from repro.exceptions import ServiceError
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.metrics.evaluation import ProtectionEvaluator, ProtectionScore
+from repro.metrics.score import score_function_by_name
+from repro.service.backends import ExecutionBackend, SerialBackend, create_backend
+from repro.service.cache import EvaluationCache
+from repro.service.checkpoint import CheckpointManager
+from repro.service.job import JobResult, ProtectionJob
+
+# -- worker functions (module-level so the process backend can pickle them) --
+
+
+def _job_result(
+    job: ProtectionJob, outcome: ExperimentResult, wall_seconds: float, checkpoint_path: str
+) -> JobResult:
+    best = outcome.result.best
+    initial_mean, final_mean, percent = outcome.history.improvement("mean")
+    evaluator = outcome.evaluator
+    return JobResult(
+        job_id=job.job_id,
+        dataset=job.dataset,
+        seed=job.seed,
+        generations=len(outcome.history),
+        best_score=float(best.score),
+        best_information_loss=float(best.information_loss),
+        best_disclosure_risk=float(best.disclosure_risk),
+        final_scores=tuple(float(ind.score) for ind in outcome.result.population),
+        mean_improvement_percent=float(percent),
+        fresh_evaluations=evaluator.evaluations,
+        memo_hits=evaluator.cache_hits,
+        persistent_hits=evaluator.persistent_hits,
+        wall_seconds=wall_seconds,
+        checkpoint_path=checkpoint_path,
+    )
+
+
+def _execute_job(payload: dict) -> JobResult:
+    """Run one job end to end inside the current worker.
+
+    ``payload`` is a plain dict (picklable for the process backend):
+    the job's own dict plus cache / checkpoint / resume directives.
+    """
+    job = ProtectionJob.from_dict(payload["job"])
+    cache_path = payload.get("cache_path") or ""
+    checkpoint_path = payload.get("checkpoint_path") or ""
+    checkpoint_every = int(payload.get("checkpoint_every") or 0)
+    resume = bool(payload.get("resume"))
+
+    manager = (
+        CheckpointManager(checkpoint_path, fingerprint=job.fingerprint())
+        if checkpoint_path
+        else None
+    )
+    resume_from = None
+    if resume:
+        if manager is None:
+            raise ServiceError("cannot resume without a checkpoint path")
+        resume_from = manager.load(load_dataset(job.dataset))
+
+    cache = EvaluationCache(cache_path) if cache_path else None
+    start = time.perf_counter()
+    try:
+        outcome = run_experiment(
+            job.to_config(),
+            evaluation_cache=cache,
+            checkpoint_every=checkpoint_every if manager is not None else 0,
+            on_checkpoint=manager.save if manager is not None else None,
+            resume_from=resume_from,
+        )
+    finally:
+        if cache is not None:
+            cache.close()
+    return _job_result(job, outcome, time.perf_counter() - start, checkpoint_path)
+
+
+def _execute_job_settled(payload: dict) -> dict:
+    """Like :func:`_execute_job`, but capture failure instead of raising.
+
+    Returns a plain dict (``result`` xor ``error``) so one bad job cannot
+    poison a whole fan-out: siblings keep their results and the caller
+    records each job's true outcome.
+    """
+    try:
+        return {"result": _execute_job(payload).to_dict(), "error": ""}
+    except Exception as exc:  # noqa: BLE001 - the error is the outcome
+        return {"result": None, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _score_batch(payload: tuple) -> list[ProtectionScore]:
+    """Score one batch of protected files against a rebuilt evaluator."""
+    original, protections, attributes, score_name, cache_path = payload
+    cache = EvaluationCache(cache_path) if cache_path else None
+    evaluator = ProtectionEvaluator(
+        original,
+        attributes,
+        score_function=score_function_by_name(score_name),
+        persistent_cache=cache,
+    )
+    try:
+        return [evaluator.evaluate(protection) for protection in protections]
+    finally:
+        if cache is not None:
+            cache.close()
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Settled outcome of one job: a result or the error that ended it."""
+
+    job_id: str
+    result: JobResult | None = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the job produced a result."""
+        return self.result is not None
+
+
+# -- the runner -------------------------------------------------------------
+
+
+class JobRunner:
+    """Runs protection jobs over an execution backend with shared caching.
+
+    Parameters
+    ----------
+    backend:
+        Backend name (``serial`` / ``thread`` / ``process``) or a
+        pre-built :class:`~repro.service.backends.ExecutionBackend`.
+    max_workers:
+        Pool-size cap for the pooled backends.
+    cache_path:
+        Location of the shared persistent evaluation cache; ``None``
+        disables persistent caching (the in-process memo cache of each
+        evaluator still applies).
+    checkpoint_dir:
+        When set (together with a positive ``checkpoint_every``), every
+        job writes periodic checkpoints to
+        ``<checkpoint_dir>/<job_id>.json`` and can be resumed.
+    checkpoint_every:
+        Generations between checkpoint writes; 0 disables.
+    """
+
+    def __init__(
+        self,
+        backend: str | ExecutionBackend = "serial",
+        max_workers: int | None = None,
+        cache_path: str | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 0,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise ServiceError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        self.backend = create_backend(backend, max_workers)
+        self.cache_path = str(cache_path) if cache_path else ""
+        self.checkpoint_dir = str(checkpoint_dir) if checkpoint_dir else ""
+        self.checkpoint_every = checkpoint_every
+
+    # -- payload plumbing ---------------------------------------------------
+
+    def checkpoint_path(self, job: ProtectionJob) -> str:
+        """Where this runner checkpoints ``job`` ('' when disabled)."""
+        if not self.checkpoint_dir:
+            return ""
+        from pathlib import Path
+
+        return str(Path(self.checkpoint_dir) / f"{job.job_id}.json")
+
+    def _payload(self, job: ProtectionJob, resume: bool) -> dict:
+        return {
+            "job": job.to_dict(),
+            "cache_path": self.cache_path,
+            "checkpoint_path": self.checkpoint_path(job),
+            "checkpoint_every": self.checkpoint_every,
+            "resume": resume,
+        }
+
+    # -- fan-out entry points ----------------------------------------------
+
+    def run(self, jobs: Sequence[ProtectionJob], resume: bool = False) -> list[JobResult]:
+        """Execute ``jobs`` over the backend; results in submission order.
+
+        With ``resume=True`` every job must have an on-disk checkpoint
+        (see ``checkpoint_dir``), and execution continues from it instead
+        of re-scoring an initial population.
+        """
+        if not jobs:
+            return []
+        payloads = [self._payload(job, resume) for job in jobs]
+        return self.backend.map(_execute_job, payloads)
+
+    def run_settled(
+        self, jobs: Sequence[ProtectionJob], resume: bool = False
+    ) -> list[JobOutcome]:
+        """Execute ``jobs``, settling each one's outcome individually.
+
+        Unlike :meth:`run`, a failing job does not abort the fan-out:
+        every job returns either its result or its error, in submission
+        order.  This is what the CLI uses so completed replicates are
+        never discarded because a sibling failed.
+        """
+        if not jobs:
+            return []
+        payloads = [self._payload(job, resume) for job in jobs]
+        settled = self.backend.map(_execute_job_settled, payloads)
+        return [
+            JobOutcome(
+                job_id=job.job_id,
+                result=JobResult.from_dict(out["result"]) if out["result"] else None,
+                error=out["error"],
+            )
+            for job, out in zip(jobs, settled)
+        ]
+
+    def run_replicates(self, job: ProtectionJob, seeds: Sequence[int]) -> list[JobResult]:
+        """Fan one job out across run seeds (experiment replicates)."""
+        if not seeds:
+            raise ServiceError("run_replicates needs at least one seed")
+        return self.run([job.with_seed(int(seed)) for seed in seeds])
+
+    def grid(
+        self,
+        datasets: Sequence[str],
+        scores: Sequence[str] = ("max",),
+        seeds: Sequence[int] = (42,),
+        **params: object,
+    ) -> list[ProtectionJob]:
+        """The method-comparison grid: datasets x score functions x seeds."""
+        return [
+            ProtectionJob(dataset=dataset, score=score, seed=int(seed), **params)  # type: ignore[arg-type]
+            for dataset in datasets
+            for score in scores
+            for seed in seeds
+        ]
+
+    def run_grid(
+        self,
+        datasets: Sequence[str],
+        scores: Sequence[str] = ("max",),
+        seeds: Sequence[int] = (42,),
+        **params: object,
+    ) -> list[JobResult]:
+        """Build and execute a comparison grid in one call."""
+        return self.run(self.grid(datasets, scores, seeds, **params))
+
+    def score_population(
+        self,
+        original: CategoricalDataset,
+        protections: Sequence[CategoricalDataset],
+        attributes: Sequence[str] | None = None,
+        score: str = "max",
+        batch_size: int | None = None,
+    ) -> list[ProtectionScore]:
+        """Score an initial population in parallel batches.
+
+        The population is split into backend-sized batches, each scored
+        by a worker-local evaluator that shares this runner's persistent
+        cache; scores return in population order.
+        """
+        if not protections:
+            return []
+        attrs = tuple(attributes) if attributes is not None else original.attribute_names
+        if batch_size is None:
+            import os
+
+            if isinstance(self.backend, SerialBackend):
+                # One batch: no parallelism to feed, so no reason to pay
+                # per-batch evaluator and cache-connection setup.
+                workers = 1
+            else:
+                workers = getattr(self.backend, "max_workers", None) or os.cpu_count() or 1
+            batch_size = max(1, -(-len(protections) // workers))
+        batches = [
+            tuple(protections[i : i + batch_size])
+            for i in range(0, len(protections), batch_size)
+        ]
+        payloads = [
+            (original, batch, attrs, score, self.cache_path) for batch in batches
+        ]
+        scored = self.backend.map(_score_batch, payloads)
+        return [result for batch in scored for result in batch]
+
+    def __repr__(self) -> str:
+        return (
+            f"JobRunner(backend={self.backend.name!r}, cache={self.cache_path!r}, "
+            f"checkpoint_every={self.checkpoint_every})"
+        )

@@ -1,0 +1,169 @@
+"""On-disk job store: the service's durable state directory.
+
+The store owns one directory (default ``$REPRO_HOME`` or ``~/.repro``)
+with a fixed layout::
+
+    <root>/jobs/<job_id>.json        one JobRecord per submitted job
+    <root>/checkpoints/<job_id>.json periodic engine checkpoints
+    <root>/cache/evaluations.sqlite  the shared persistent evaluation cache
+
+Records move through ``queued -> running -> completed | failed``; a
+record stuck in ``running`` with a checkpoint on disk is exactly the
+interrupted-job case ``repro resume`` repairs.  Everything is plain JSON
+so operators can inspect and repair state with standard tools.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ServiceError
+from repro.service.job import JobResult, ProtectionJob
+
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+STATUSES = (QUEUED, RUNNING, COMPLETED, FAILED)
+
+
+def default_state_dir() -> Path:
+    """The service state directory: ``$REPRO_HOME`` or ``~/.repro``."""
+    env = os.environ.get("REPRO_HOME", "")
+    return Path(env) if env else Path.home() / ".repro"
+
+
+@dataclass
+class JobRecord:
+    """One job's lifecycle: specification, status, timestamps, outcome."""
+
+    job: ProtectionJob
+    status: str = QUEUED
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: JobResult | None = None
+    error: str = ""
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def job_id(self) -> str:
+        """The job's content-derived identifier."""
+        return self.job.job_id
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "job": self.job.to_dict(),
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "result": self.result.to_dict() if self.result is not None else None,
+            "error": self.error,
+            "extras": self.extras,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        result = payload.get("result")
+        return cls(
+            job=ProtectionJob.from_dict(payload["job"]),
+            status=payload.get("status", QUEUED),
+            submitted_at=payload.get("submitted_at", 0.0),
+            started_at=payload.get("started_at"),
+            finished_at=payload.get("finished_at"),
+            result=JobResult.from_dict(result) if result else None,
+            error=payload.get("error", ""),
+            extras=payload.get("extras", {}),
+        )
+
+
+class JobStore:
+    """Directory-backed persistence for job records, checkpoints, cache."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_state_dir()
+        self.jobs_dir = self.root / "jobs"
+        self.checkpoints_dir = self.root / "checkpoints"
+        self.cache_dir = self.root / "cache"
+        for directory in (self.jobs_dir, self.checkpoints_dir, self.cache_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- locations ----------------------------------------------------------
+
+    @property
+    def cache_path(self) -> Path:
+        """The shared persistent evaluation cache file."""
+        return self.cache_dir / "evaluations.sqlite"
+
+    def record_path(self, job_id: str) -> Path:
+        """Where ``job_id``'s record lives."""
+        return self.jobs_dir / f"{job_id}.json"
+
+    # -- record lifecycle ---------------------------------------------------
+
+    def submit(self, job: ProtectionJob) -> JobRecord:
+        """Register a job as queued (idempotent: resubmitting an already
+        completed job returns the existing record untouched)."""
+        existing = self.get(job.job_id, missing_ok=True)
+        if existing is not None and existing.status == COMPLETED:
+            return existing
+        record = JobRecord(job=job, status=QUEUED, submitted_at=time.time())
+        self.save(record)
+        return record
+
+    def save(self, record: JobRecord) -> None:
+        """Atomically persist ``record``."""
+        if record.status not in STATUSES:
+            raise ServiceError(f"unknown job status {record.status!r}")
+        path = self.record_path(record.job_id)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(record.to_dict(), indent=2), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def get(self, job_id: str, missing_ok: bool = False) -> JobRecord | None:
+        """Load one record; raises :class:`ServiceError` unless ``missing_ok``."""
+        path = self.record_path(job_id)
+        if not path.exists():
+            if missing_ok:
+                return None
+            raise ServiceError(f"unknown job {job_id!r} (no record in {self.jobs_dir})")
+        return JobRecord.from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+    def records(self) -> list[JobRecord]:
+        """Every stored record, oldest submission first."""
+        loaded = [
+            JobRecord.from_dict(json.loads(path.read_text(encoding="utf-8")))
+            for path in sorted(self.jobs_dir.glob("*.json"))
+        ]
+        return sorted(loaded, key=lambda r: r.submitted_at)
+
+    def mark_running(self, record: JobRecord) -> None:
+        """Transition to ``running`` and persist."""
+        record.status = RUNNING
+        record.started_at = time.time()
+        self.save(record)
+
+    def mark_completed(self, record: JobRecord, result: JobResult) -> None:
+        """Transition to ``completed`` with its result and persist."""
+        record.status = COMPLETED
+        record.finished_at = time.time()
+        record.result = result
+        record.error = ""
+        self.save(record)
+
+    def mark_failed(self, record: JobRecord, error: str) -> None:
+        """Transition to ``failed`` with the error text and persist."""
+        record.status = FAILED
+        record.finished_at = time.time()
+        record.error = error
+        self.save(record)
+
+    def __repr__(self) -> str:
+        return f"JobStore({str(self.root)!r})"

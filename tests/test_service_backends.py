@@ -1,0 +1,64 @@
+"""Execution-backend semantics: order, parallelism, error propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import (
+    BACKENDS,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    create_backend,
+)
+
+
+def _square(x: int) -> int:
+    # Module-level so the process backend can pickle it.
+    return x * x
+
+
+def _boom(x: int) -> int:
+    raise ValueError(f"boom on {x}")
+
+
+ALL_BACKENDS = [SerialBackend(), ThreadBackend(max_workers=2), ProcessBackend(max_workers=2)]
+
+
+class TestBackendSemantics:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_map_preserves_order(self, backend):
+        items = list(range(10))
+        assert backend.map(_square, items) == [x * x for x in items]
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_empty_input(self, backend):
+        assert backend.map(_square, []) == []
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_errors_propagate(self, backend):
+        with pytest.raises(ValueError, match="boom"):
+            backend.map(_boom, [1, 2])
+
+
+class TestCreateBackend:
+    def test_resolves_all_names(self):
+        for name in BACKENDS:
+            assert create_backend(name).name == name
+
+    def test_passthrough_instance(self):
+        backend = ThreadBackend(max_workers=3)
+        assert create_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ServiceError, match="unknown backend"):
+            create_backend("quantum")
+
+    def test_serial_rejects_workers(self):
+        with pytest.raises(ServiceError):
+            create_backend("serial", max_workers=4)
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ServiceError):
+            ThreadBackend(max_workers=0)

@@ -1,0 +1,148 @@
+"""Checkpoint/resume: bit-identical continuation of an interrupted run."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EngineCheckpoint, EvolutionaryProtector
+from repro.core.operators import mutate
+from repro.exceptions import EvolutionError, ServiceError
+from repro.metrics import ProtectionEvaluator
+from repro.service import CheckpointManager, checkpoint_from_dict, checkpoint_to_dict
+
+TOTAL_GENERATIONS = 24
+INTERRUPT_AT = 10
+CHECKPOINT_EVERY = 5
+
+
+@pytest.fixture()
+def evaluator(tiny_dataset):
+    return ProtectionEvaluator(tiny_dataset, tiny_dataset.attribute_names)
+
+
+@pytest.fixture()
+def protections(tiny_dataset):
+    rng = np.random.default_rng(9)
+    return [
+        mutate(tiny_dataset, tiny_dataset.attribute_names, seed=rng, name=f"p{i}")
+        for i in range(8)
+    ]
+
+
+def _history_signature(history):
+    # Timing fields are wall-clock noise; everything else must match.
+    return [
+        (r.generation, r.operator, r.max_score, r.mean_score, r.min_score,
+         r.evaluations, r.accepted)
+        for r in history.records
+    ]
+
+
+def _population_signature(result):
+    return [(ind.dataset.fingerprint(), ind.score) for ind in result.population]
+
+
+class TestCheckpointResumeEquivalence:
+    def test_resume_matches_uninterrupted_run(self, evaluator, protections, tiny_dataset, tmp_path):
+        straight = EvolutionaryProtector(evaluator, seed=5).run(
+            protections, stopping=TOTAL_GENERATIONS
+        )
+
+        checkpoints: list[EngineCheckpoint] = []
+        interrupted = EvolutionaryProtector(evaluator, seed=5).run(
+            protections,
+            stopping=INTERRUPT_AT,
+            checkpoint_every=CHECKPOINT_EVERY,
+            on_checkpoint=checkpoints.append,
+        )
+        assert len(interrupted.history) == INTERRUPT_AT
+        assert checkpoints[-1].generation == INTERRUPT_AT
+
+        # Round-trip the final checkpoint through disk, like a real crash.
+        manager = CheckpointManager(
+            tmp_path / "run.json", fingerprint=evaluator.config_fingerprint()
+        )
+        manager.save(checkpoints[-1])
+        restored = manager.load(tiny_dataset)
+
+        resumed = EvolutionaryProtector(evaluator, seed=5).resume(
+            restored, stopping=TOTAL_GENERATIONS
+        )
+        assert len(resumed.history) == TOTAL_GENERATIONS
+        assert _history_signature(resumed.history) == _history_signature(straight.history)
+        assert _population_signature(resumed) == _population_signature(straight)
+        assert resumed.best.score == straight.best.score
+
+    def test_checkpoint_cadence(self, evaluator, protections):
+        checkpoints: list[EngineCheckpoint] = []
+        EvolutionaryProtector(evaluator, seed=5).run(
+            protections, stopping=12, checkpoint_every=5, on_checkpoint=checkpoints.append
+        )
+        # Every interval plus the final partial one.
+        assert [c.generation for c in checkpoints] == [5, 10, 12]
+
+    def test_no_checkpoints_when_disabled(self, evaluator, protections):
+        checkpoints: list[EngineCheckpoint] = []
+        EvolutionaryProtector(evaluator, seed=5).run(
+            protections, stopping=4, checkpoint_every=0, on_checkpoint=checkpoints.append
+        )
+        assert checkpoints == []
+
+    def test_negative_cadence_rejected(self, evaluator, protections):
+        with pytest.raises(EvolutionError):
+            EvolutionaryProtector(evaluator, seed=5).run(
+                protections, stopping=2, checkpoint_every=-1
+            )
+
+    def test_resume_rejects_empty_population(self, evaluator):
+        empty = EngineCheckpoint(
+            generation=0, initial=[], individuals=[], records=[], rng_state={}
+        )
+        with pytest.raises(EvolutionError):
+            EvolutionaryProtector(evaluator, seed=5).resume(empty)
+
+
+class TestCheckpointSerde:
+    def _checkpoint(self, evaluator, protections):
+        captured: list[EngineCheckpoint] = []
+        EvolutionaryProtector(evaluator, seed=3).run(
+            protections, stopping=6, checkpoint_every=3, on_checkpoint=captured.append
+        )
+        return captured[-1]
+
+    def test_dict_roundtrip(self, evaluator, protections, tiny_dataset):
+        checkpoint = self._checkpoint(evaluator, protections)
+        back = checkpoint_from_dict(checkpoint_to_dict(checkpoint), tiny_dataset)
+        assert back.generation == checkpoint.generation
+        assert back.rng_state == checkpoint.rng_state
+        assert len(back.individuals) == len(checkpoint.individuals)
+        for restored, original in zip(back.individuals, checkpoint.individuals):
+            assert restored.dataset.fingerprint() == original.dataset.fingerprint()
+            assert restored.evaluation == original.evaluation
+        assert [r.generation for r in back.records] == [
+            r.generation for r in checkpoint.records
+        ]
+
+    def test_fingerprint_mismatch_refused(self, evaluator, protections, tiny_dataset, tmp_path):
+        checkpoint = self._checkpoint(evaluator, protections)
+        CheckpointManager(tmp_path / "ck.json", fingerprint="config-a").save(checkpoint)
+        with pytest.raises(ServiceError, match="different evaluator configuration"):
+            CheckpointManager(tmp_path / "ck.json", fingerprint="config-b").load(tiny_dataset)
+
+    def test_unknown_version_refused(self, tiny_dataset):
+        with pytest.raises(ServiceError, match="version"):
+            checkpoint_from_dict({"version": 99}, tiny_dataset)
+
+    def test_missing_file_refused(self, tiny_dataset, tmp_path):
+        manager = CheckpointManager(tmp_path / "absent.json")
+        assert not manager.exists()
+        with pytest.raises(ServiceError, match="no checkpoint"):
+            manager.load(tiny_dataset)
+
+    def test_delete(self, evaluator, protections, tmp_path):
+        manager = CheckpointManager(tmp_path / "ck.json")
+        manager.save(self._checkpoint(evaluator, protections))
+        assert manager.exists()
+        manager.delete()
+        assert not manager.exists()
