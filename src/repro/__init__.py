@@ -152,6 +152,7 @@ __all__ = [
     "EvaluationCache",
     "CheckpointManager",
     "JobStore",
+    "Worker",
 ]
 
 _SERVICE_NAMES = {
@@ -161,6 +162,7 @@ _SERVICE_NAMES = {
     "EvaluationCache",
     "CheckpointManager",
     "JobStore",
+    "Worker",
 }
 
 

@@ -19,6 +19,7 @@ against the dataset's schema).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -218,9 +219,15 @@ def _job_store(args: argparse.Namespace):
 def _parse_seeds(args: argparse.Namespace) -> list[int]:
     if args.seeds:
         try:
-            return [int(s) for s in args.seeds.split(",") if s.strip()]
+            seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
         except ValueError:
             raise ReproError(f"bad --seeds {args.seeds!r}; expected comma-separated ints")
+        unique = list(dict.fromkeys(seeds))
+        if len(unique) != len(seeds):
+            dropped = len(seeds) - len(unique)
+            print(f"note: dropped {dropped} duplicate seed(s) from --seeds; "
+                  f"running {','.join(str(s) for s in unique)}")
+        return unique
     return [args.seed]
 
 
@@ -256,11 +263,42 @@ def cmd_submit(args: argparse.Namespace) -> int:
     )
     jobs = [base.with_seed(seed) for seed in _parse_seeds(args)]
     records = [store.submit(job) for job in jobs]
-    pending = [r for r in records if r.status != "completed"]
     for record in records:
         if record.status == "completed":
             print(f"{record.job_id}: already completed, skipping (resubmit idempotent)")
-    if pending:
+        elif record.status == "running":
+            print(f"{record.job_id}: already running, skipping (a worker owns it)")
+    pending = [r for r in records if r.status == "queued"]
+    for record in pending:
+        # Persist the cadence while queued so a detached worker can honour it.
+        record.extras["checkpoint_every"] = args.checkpoint_every
+        store.save(record)
+    if args.detach:
+        rows = [_result_row(store.get(record.job_id)) for record in records]
+        print(format_table(_STATUS_HEADER, rows,
+                           title=f"queued {len(pending)} job(s) (detached)"))
+        print(f"state dir: {store.root}")
+        print("run them with: repro worker --once"
+              + (f" --state-dir {store.root}" if args.state_dir else ""))
+        return 0
+    failures = 0
+    # Claim before running so a concurrently polling `repro worker`
+    # cannot pick up the same jobs, then re-read inside the claim: a
+    # job a worker finished between our submit and our claim must not
+    # be re-run or have its result clobbered.
+    owner = f"submit-{os.getpid()}"
+    mine = []
+    for record in pending:
+        if not store.claim(record.job_id, owner=owner):
+            print(f"{record.job_id}: claimed by another worker, skipping")
+            continue
+        current = store.get(record.job_id, missing_ok=True)
+        if current is None or current.status != "queued":
+            store.release(record.job_id, owner=owner)
+            print(f"{record.job_id}: no longer queued, skipping")
+            continue
+        mine.append(current)
+    if mine:
         runner = JobRunner(
             backend=args.backend,
             max_workers=args.workers,
@@ -268,21 +306,23 @@ def cmd_submit(args: argparse.Namespace) -> int:
             checkpoint_dir=str(store.checkpoints_dir),
             checkpoint_every=args.checkpoint_every,
         )
-        for record in pending:
-            record.extras["checkpoint_every"] = args.checkpoint_every
-            store.mark_running(record)
-        failures = 0
-        for record, outcome in zip(pending, runner.run_settled([r.job for r in pending])):
-            if outcome.ok:
-                store.mark_completed(record, outcome.result)
-            else:
-                failures += 1
-                store.mark_failed(record, outcome.error)
-                print(f"{record.job_id} failed: {outcome.error}", file=sys.stderr)
+        try:
+            for record in mine:
+                store.mark_running(record)
+            for record, outcome in zip(mine, runner.run_settled([r.job for r in mine])):
+                if outcome.ok:
+                    store.mark_completed(record, outcome.result)
+                else:
+                    failures += 1
+                    store.mark_failed(record, outcome.error)
+                    print(f"{record.job_id} failed: {outcome.error}", file=sys.stderr)
+        finally:
+            for record in mine:
+                store.release(record.job_id, owner=owner)
     rows = [_result_row(store.get(record.job_id)) for record in records]
     print(format_table(_STATUS_HEADER, rows, title=f"submitted via {args.backend} backend"))
     print(f"state dir: {store.root}")
-    return 1 if pending and failures else 0
+    return 1 if failures else 0
 
 
 def cmd_status(args: argparse.Namespace) -> int:
@@ -325,16 +365,71 @@ def cmd_resume(args: argparse.Namespace) -> int:
         checkpoint_dir=str(store.checkpoints_dir),
         checkpoint_every=int(record.extras.get("checkpoint_every", 0)),
     )
-    store.mark_running(record)
+    owner = f"resume-{os.getpid()}"
+    if not store.claim(record.job_id, owner=owner):
+        if not args.force:
+            raise ReproError(
+                f"{record.job_id} is claimed by another worker; wait for it, "
+                "let 'repro worker' recover it after --stale-after, or pass "
+                "--force to take the claim over now"
+            )
+        store.release(record.job_id)
+        if not store.claim(record.job_id, owner=owner):
+            raise ReproError(f"{record.job_id}: lost a claim race; retry")
     try:
-        (result,) = runner.run([record.job], resume=True)
-    except Exception as exc:  # noqa: BLE001 - job failure is service state
-        store.mark_failed(record, str(exc))
-        raise
-    store.mark_completed(record, result)
+        # Re-read inside the claim: a worker may have finished the job
+        # between our first read and the claim landing.
+        record = store.get(args.job)
+        if record.status == "completed" and not args.force:
+            print(f"{record.job_id} was completed by another worker meanwhile")
+            return 0
+        store.mark_running(record)
+        try:
+            (result,) = runner.run([record.job], resume=True)
+        except Exception as exc:  # noqa: BLE001 - job failure is service state
+            store.mark_failed(record, str(exc))
+            raise
+        store.mark_completed(record, result)
+    finally:
+        store.release(record.job_id, owner=owner)
     print(format_table(_STATUS_HEADER, [_result_row(record)],
                        title=f"resumed {record.job_id}"))
     return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.worker import Worker
+
+    store = _job_store(args)
+    worker = Worker(
+        store,
+        backend=args.backend,
+        max_workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_max_entries=args.cache_max_entries,
+        worker_id=args.worker_id,
+        stale_after=args.stale_after,
+    )
+    if args.once:
+        outcomes = worker.run_once(max_jobs=args.max_jobs)
+    else:
+        outcomes = worker.run(
+            poll_seconds=args.poll_seconds,
+            max_jobs=args.max_jobs,
+            idle_exit=args.idle_exit,
+        )
+    failures = 0
+    for outcome in outcomes:
+        if not outcome.ok:
+            failures += 1
+            print(f"{outcome.job_id} failed: {outcome.error}", file=sys.stderr)
+    if not outcomes:
+        print(f"no claimable queued jobs in {store.root}")
+        return 0
+    rows = [_result_row(store.get(outcome.job_id)) for outcome in outcomes]
+    print(format_table(_STATUS_HEADER, rows,
+                       title=f"worker {worker.worker_id}: ran {len(outcomes)} job(s)"))
+    return 1 if failures else 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -345,6 +440,11 @@ def cmd_cache(args: argparse.Namespace) -> int:
         if args.clear:
             removed = cache.clear()
             print(f"cleared {removed} cached evaluations from {store.cache_path}")
+        elif args.max_entries is not None:
+            removed = cache.evict(args.max_entries)
+            print(f"evicted {removed} least-recently-used evaluations "
+                  f"(bound {args.max_entries})")
+            print(f"entries: {len(cache)}")
         else:
             print(f"cache: {store.cache_path}")
             print(f"entries: {len(cache)}")
@@ -427,8 +527,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drop-best", type=float, default=0.0)
     p.add_argument("--checkpoint-every", type=int, default=25,
                    help="generations between checkpoints (0 disables)")
+    p.add_argument("--detach", action="store_true",
+                   help="queue the jobs and return; execute later with 'repro worker'")
     add_service_options(p)
     p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("worker", help="claim and execute queued jobs (see submit --detach)")
+    p.add_argument("--once", action="store_true", help="drain the queue once and exit")
+    p.add_argument("--poll-seconds", type=float, default=2.0,
+                   help="sleep between queue polls when not --once")
+    p.add_argument("--max-jobs", type=int, default=0,
+                   help="exit after executing this many jobs (0 = no limit)")
+    p.add_argument("--idle-exit", type=int, default=0,
+                   help="exit after this many consecutive empty polls (0 = never)")
+    p.add_argument("--stale-after", type=float, default=3600.0,
+                   help="requeue jobs whose claim is older than this many seconds "
+                        "(set well above your longest job's wall time)")
+    p.add_argument("--worker-id", default="", help="claim-file identity (default: host-pid)")
+    p.add_argument("--cache-max-entries", type=int, default=None,
+                   help="LRU bound for the evaluation cache during this worker's jobs")
+    add_service_options(p)
+    p.set_defaults(fn=cmd_worker)
 
     p = sub.add_parser("status", help="show the service's job table")
     p.add_argument("--job", default="", help="show one job in detail")
@@ -437,12 +556,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("resume", help="resume an interrupted job from its checkpoint")
     p.add_argument("--job", required=True)
-    p.add_argument("--force", action="store_true", help="re-resume a completed job")
+    p.add_argument("--force", action="store_true",
+                   help="re-resume a completed job or take over an existing claim")
     add_service_options(p)
     p.set_defaults(fn=cmd_resume)
 
-    p = sub.add_parser("cache", help="inspect or clear the persistent evaluation cache")
+    p = sub.add_parser("cache", help="inspect, bound, or clear the persistent evaluation cache")
     p.add_argument("--clear", action="store_true")
+    p.add_argument("--max-entries", type=int, default=None,
+                   help="evict least-recently-used entries down to this bound")
     p.add_argument("--state-dir", default="")
     p.set_defaults(fn=cmd_cache)
 

@@ -50,3 +50,7 @@ class ExperimentError(ReproError):
 
 class ServiceError(ReproError):
     """The job-orchestration service hit an invalid job, cache, or checkpoint."""
+
+
+class WorkerError(ServiceError):
+    """A queue worker hit an invalid claim or job-state transition."""

@@ -4,9 +4,13 @@ The service layer turns the library's single-run building blocks into an
 operable system: :class:`ProtectionJob` is the durable unit of work,
 :class:`JobRunner` fans jobs out over serial / thread / process
 backends, :class:`EvaluationCache` persists fitness evaluations across
-runs and processes, :class:`CheckpointManager` makes long GA runs
-interrupt-safe, and :class:`JobStore` keeps job lifecycle state on disk
-for the ``repro submit`` / ``status`` / ``resume`` CLI.
+runs and processes (optionally LRU-bounded via ``max_entries``),
+:class:`CheckpointManager` makes long GA runs interrupt-safe,
+:class:`JobStore` keeps job lifecycle state on disk for the ``repro
+submit`` / ``status`` / ``resume`` CLI, and :class:`Worker` claims
+queued jobs for detached execution (``repro submit --detach`` +
+``repro worker``) — safe with any number of workers per state
+directory.
 """
 
 from repro.service.backends import (
@@ -26,6 +30,7 @@ from repro.service.checkpoint import (
 from repro.service.job import JobResult, ProtectionJob
 from repro.service.runner import JobOutcome, JobRunner
 from repro.service.store import JobRecord, JobStore, default_state_dir
+from repro.service.worker import Worker
 
 __all__ = [
     "ProtectionJob",
@@ -40,6 +45,7 @@ __all__ = [
     "checkpoint_from_dict",
     "JobStore",
     "JobRecord",
+    "Worker",
     "default_state_dir",
     "ExecutionBackend",
     "SerialBackend",

@@ -103,9 +103,18 @@ def create_backend(
     """Resolve a backend name (or pass through an instance).
 
     ``max_workers`` caps pool size for the pooled backends and is
-    rejected for ``serial``, where it could only mislead.
+    rejected for ``serial``, where it could only mislead.  A pre-built
+    instance already fixed its pool size at construction, so combining
+    one with ``max_workers`` is also rejected rather than silently
+    ignoring the cap.
     """
     if isinstance(backend, ExecutionBackend):
+        if max_workers is not None:
+            raise ServiceError(
+                f"max_workers={max_workers} cannot be applied to a pre-built "
+                f"{type(backend).__name__} instance; set the pool size when "
+                "constructing the backend"
+            )
         return backend
     if backend not in BACKENDS:
         raise ServiceError(

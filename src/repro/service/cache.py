@@ -12,6 +12,14 @@ masked candidate and the full measure configuration — so a hit is exactly
 as trustworthy as recomputing.  sqlite (WAL mode) gives safe concurrent
 access from the thread and process execution backends; every worker
 simply opens its own handle on the same file.
+
+Long-lived deployments bound the file with ``max_entries``: every row
+carries an ``accessed_at`` timestamp (refreshed on each hit), and when
+the store exceeds its bound the least-recently-used rows are evicted.
+Eviction only ever discards *cached* work — an evicted key is simply
+recomputed on next use, so scores are unchanged and only the
+``fresh_evaluations`` accounting of later runs goes up.  Caches created
+before the ``accessed_at`` column existed are migrated in place on open.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from __future__ import annotations
 import json
 import sqlite3
 import threading
+import time
 from pathlib import Path
 
 from repro.exceptions import ServiceError
@@ -27,7 +36,8 @@ from repro.metrics.evaluation import ProtectionScore
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS evaluations (
     key TEXT PRIMARY KEY,
-    payload TEXT NOT NULL
+    payload TEXT NOT NULL,
+    accessed_at REAL NOT NULL DEFAULT 0
 )
 """
 
@@ -67,54 +77,137 @@ class EvaluationCache:
     readonly:
         When true, :meth:`put` becomes a no-op — useful for serving
         traffic from a pre-warmed cache without write contention.
+    max_entries:
+        When set, the store never holds more than this many rows: every
+        :meth:`put` that would exceed the bound evicts the
+        least-recently-used entries first.  ``None`` (the default) keeps
+        the store unbounded.
     """
 
-    def __init__(self, path: str | Path, readonly: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        readonly: bool = False,
+        max_entries: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ServiceError(f"max_entries must be >= 1, got {max_entries}")
         self.path = Path(path)
         self.readonly = readonly
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.evictions = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
+        self._closed = False
+        self._entries_at_close = 0
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
         with self._lock:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.execute(_SCHEMA)
+            self._migrate_locked()
             self._conn.commit()
+
+    def _migrate_locked(self) -> None:
+        """Add ``accessed_at`` to stores created before it existed."""
+        columns = {
+            row[1] for row in self._conn.execute("PRAGMA table_info(evaluations)")
+        }
+        if "accessed_at" not in columns:
+            self._conn.execute(
+                "ALTER TABLE evaluations ADD COLUMN accessed_at REAL NOT NULL DEFAULT 0"
+            )
 
     # -- ScoreCache protocol ------------------------------------------------
 
     def get(self, key: str) -> ProtectionScore | None:
-        """Stored score for ``key``, or ``None`` on a miss."""
+        """Stored score for ``key``, or ``None`` on a miss.
+
+        On a bounded handle a hit refreshes the row's ``accessed_at`` so
+        recently-used entries survive LRU eviction.  Unbounded handles
+        keep the read path free of disk writes — their rows carry the
+        ``accessed_at`` of the last write, so an ``evict()`` run against
+        a store only ever touched unbounded is least-recently-*written*
+        eviction, which is still oldest-work-first.
+        """
         with self._lock:
             row = self._conn.execute(
                 "SELECT payload FROM evaluations WHERE key = ?", (key,)
             ).fetchone()
-        if row is None:
-            self.misses += 1
-            return None
-        self.hits += 1
+            if row is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            if not self.readonly and self.max_entries is not None:
+                self._conn.execute(
+                    "UPDATE evaluations SET accessed_at = ? WHERE key = ?",
+                    (time.time(), key),
+                )
+                self._conn.commit()
         return score_from_dict(json.loads(row[0]))
 
     def put(self, key: str, score: ProtectionScore) -> None:
-        """Store ``score`` under ``key`` (last writer wins)."""
+        """Store ``score`` under ``key`` (last writer wins).
+
+        With ``max_entries`` set, evicts least-recently-used rows so the
+        store never exceeds its bound after this call returns.
+        """
         if self.readonly:
             return
         payload = json.dumps(score_to_dict(score))
         with self._lock:
             self._conn.execute(
-                "INSERT OR REPLACE INTO evaluations (key, payload) VALUES (?, ?)",
-                (key, payload),
+                "INSERT OR REPLACE INTO evaluations (key, payload, accessed_at) "
+                "VALUES (?, ?, ?)",
+                (key, payload, time.time()),
             )
+            if self.max_entries is not None:
+                self.evictions += self._evict_locked(self.max_entries)
             self._conn.commit()
-        self.writes += 1
+            self.writes += 1
 
     # -- maintenance --------------------------------------------------------
 
+    def _evict_locked(self, bound: int) -> int:
+        """Delete least-recently-used rows down to ``bound``; count removed."""
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()
+        excess = int(count) - bound
+        if excess <= 0:
+            return 0
+        # Ties on accessed_at (e.g. never-touched migrated rows at 0)
+        # break by rowid, i.e. insertion order — still oldest-first.
+        self._conn.execute(
+            "DELETE FROM evaluations WHERE key IN ("
+            "SELECT key FROM evaluations ORDER BY accessed_at ASC, rowid ASC LIMIT ?)",
+            (excess,),
+        )
+        return excess
+
+    def evict(self, max_entries: int | None = None) -> int:
+        """Evict least-recently-used entries down to a bound, now.
+
+        Uses ``max_entries`` when given, else the instance bound; with
+        neither this call cannot know a target and raises
+        :class:`ServiceError`.  Returns how many entries were removed.
+        """
+        bound = max_entries if max_entries is not None else self.max_entries
+        if bound is None:
+            raise ServiceError("evict() needs a max_entries bound")
+        if bound < 0:
+            raise ServiceError(f"max_entries must be >= 0, got {bound}")
+        with self._lock:
+            removed = self._evict_locked(bound)
+            self._conn.commit()
+            self.evictions += removed
+        return removed
+
     def __len__(self) -> int:
         with self._lock:
+            if self._closed:
+                return self._entries_at_close
             (count,) = self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()
         return int(count)
 
@@ -126,18 +219,28 @@ class EvaluationCache:
         return int(removed)
 
     def stats(self) -> dict[str, int]:
-        """Session counters plus the current on-disk entry count."""
+        """Session counters plus the current on-disk entry count.
+
+        Safe to call after :meth:`close`: the entry count is then the
+        last value observed at close time.
+        """
         return {
             "entries": len(self),
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,
+            "evictions": self.evictions,
         }
 
     def close(self) -> None:
-        """Close the underlying sqlite handle."""
+        """Close the underlying sqlite handle (idempotent)."""
         with self._lock:
+            if self._closed:
+                return
+            (count,) = self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()
+            self._entries_at_close = int(count)
             self._conn.close()
+            self._closed = True
 
     def __enter__(self) -> "EvaluationCache":
         return self

@@ -29,7 +29,6 @@ from repro.core.history import GenerationRecord
 from repro.core.individual import Individual
 from repro.data.dataset import CategoricalDataset
 from repro.exceptions import ServiceError
-from repro.metrics.evaluation import ProtectionScore
 from repro.service.cache import score_from_dict, score_to_dict
 
 FORMAT_VERSION = 1

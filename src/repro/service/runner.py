@@ -71,6 +71,7 @@ def _execute_job(payload: dict) -> JobResult:
     """
     job = ProtectionJob.from_dict(payload["job"])
     cache_path = payload.get("cache_path") or ""
+    cache_max_entries = payload.get("cache_max_entries") or None
     checkpoint_path = payload.get("checkpoint_path") or ""
     checkpoint_every = int(payload.get("checkpoint_every") or 0)
     resume = bool(payload.get("resume"))
@@ -86,7 +87,11 @@ def _execute_job(payload: dict) -> JobResult:
             raise ServiceError("cannot resume without a checkpoint path")
         resume_from = manager.load(load_dataset(job.dataset))
 
-    cache = EvaluationCache(cache_path) if cache_path else None
+    cache = (
+        EvaluationCache(cache_path, max_entries=cache_max_entries)
+        if cache_path
+        else None
+    )
     start = time.perf_counter()
     try:
         outcome = run_experiment(
@@ -163,6 +168,10 @@ class JobRunner:
         Location of the shared persistent evaluation cache; ``None``
         disables persistent caching (the in-process memo cache of each
         evaluator still applies).
+    cache_max_entries:
+        LRU bound applied by every worker-opened cache handle; ``None``
+        keeps the cache unbounded.  Eviction never changes scores — an
+        evicted entry is recomputed, raising only ``fresh_evaluations``.
     checkpoint_dir:
         When set (together with a positive ``checkpoint_every``), every
         job writes periodic checkpoints to
@@ -176,13 +185,19 @@ class JobRunner:
         backend: str | ExecutionBackend = "serial",
         max_workers: int | None = None,
         cache_path: str | None = None,
+        cache_max_entries: int | None = None,
         checkpoint_dir: str | None = None,
         checkpoint_every: int = 0,
     ) -> None:
         if checkpoint_every < 0:
             raise ServiceError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        if cache_max_entries is not None and cache_max_entries < 1:
+            raise ServiceError(
+                f"cache_max_entries must be >= 1, got {cache_max_entries}"
+            )
         self.backend = create_backend(backend, max_workers)
         self.cache_path = str(cache_path) if cache_path else ""
+        self.cache_max_entries = cache_max_entries
         self.checkpoint_dir = str(checkpoint_dir) if checkpoint_dir else ""
         self.checkpoint_every = checkpoint_every
 
@@ -200,6 +215,7 @@ class JobRunner:
         return {
             "job": job.to_dict(),
             "cache_path": self.cache_path,
+            "cache_max_entries": self.cache_max_entries,
             "checkpoint_path": self.checkpoint_path(job),
             "checkpoint_every": self.checkpoint_every,
             "resume": resume,

@@ -4,6 +4,7 @@ The store owns one directory (default ``$REPRO_HOME`` or ``~/.repro``)
 with a fixed layout::
 
     <root>/jobs/<job_id>.json        one JobRecord per submitted job
+    <root>/claims/<job_id>.claim     worker ownership markers (O_EXCL)
     <root>/checkpoints/<job_id>.json periodic engine checkpoints
     <root>/cache/evaluations.sqlite  the shared persistent evaluation cache
 
@@ -11,6 +12,14 @@ Records move through ``queued -> running -> completed | failed``; a
 record stuck in ``running`` with a checkpoint on disk is exactly the
 interrupted-job case ``repro resume`` repairs.  Everything is plain JSON
 so operators can inspect and repair state with standard tools.
+
+Claim files are how concurrent workers partition the queue without a
+coordinator: a worker owns ``job_id`` exactly while
+``<root>/claims/<job_id>.claim`` exists and was created by it.  Creation
+uses ``O_CREAT | O_EXCL``, which is atomic on POSIX filesystems (and on
+NFS since v3), so two workers sharing one state directory can never both
+claim the same job.  A claim that outlives its worker (crash, kill -9)
+is recovered by :meth:`JobStore.recover_stale_claims`.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.exceptions import ServiceError
+from repro.exceptions import ServiceError, WorkerError
 from repro.service.job import JobResult, ProtectionJob
 
 QUEUED = "queued"
@@ -90,9 +99,11 @@ class JobStore:
     def __init__(self, root: str | Path | None = None) -> None:
         self.root = Path(root) if root is not None else default_state_dir()
         self.jobs_dir = self.root / "jobs"
+        self.claims_dir = self.root / "claims"
         self.checkpoints_dir = self.root / "checkpoints"
         self.cache_dir = self.root / "cache"
-        for directory in (self.jobs_dir, self.checkpoints_dir, self.cache_dir):
+        for directory in (self.jobs_dir, self.claims_dir, self.checkpoints_dir,
+                          self.cache_dir):
             directory.mkdir(parents=True, exist_ok=True)
 
     # -- locations ----------------------------------------------------------
@@ -106,14 +117,29 @@ class JobStore:
         """Where ``job_id``'s record lives."""
         return self.jobs_dir / f"{job_id}.json"
 
+    def claim_path(self, job_id: str) -> Path:
+        """Where ``job_id``'s worker claim marker lives."""
+        return self.claims_dir / f"{job_id}.claim"
+
     # -- record lifecycle ---------------------------------------------------
 
     def submit(self, job: ProtectionJob) -> JobRecord:
-        """Register a job as queued (idempotent: resubmitting an already
-        completed job returns the existing record untouched)."""
+        """Register a job as queued (idempotent).
+
+        Resubmission never clobbers live state: a ``completed`` record is
+        returned untouched, and so are ``queued`` and ``running`` ones —
+        resetting a running job to queued would orphan the worker that
+        owns it and lose ``started_at``.  Only a ``failed`` record is
+        replaced by a fresh queued submission.
+        """
         existing = self.get(job.job_id, missing_ok=True)
-        if existing is not None and existing.status == COMPLETED:
+        if existing is not None and existing.status != FAILED:
             return existing
+        if existing is not None:
+            # A worker that crashed between mark_failed and release can
+            # leave a claim behind; drop it, or the fresh queued record
+            # would be unclaimable until the claim ages out.
+            self.release(job.job_id)
         record = JobRecord(job=job, status=QUEUED, submitted_at=time.time())
         self.save(record)
         return record
@@ -144,6 +170,10 @@ class JobStore:
         ]
         return sorted(loaded, key=lambda r: r.submitted_at)
 
+    def queued(self) -> list[JobRecord]:
+        """Queued records only, oldest submission first (the work queue)."""
+        return [record for record in self.records() if record.status == QUEUED]
+
     def mark_running(self, record: JobRecord) -> None:
         """Transition to ``running`` and persist."""
         record.status = RUNNING
@@ -164,6 +194,122 @@ class JobStore:
         record.finished_at = time.time()
         record.error = error
         self.save(record)
+
+    def requeue(self, record: JobRecord) -> JobRecord:
+        """Put a ``running`` or ``failed`` record back on the queue.
+
+        Clears the previous attempt's timestamps, result and error, and
+        releases any claim so another worker can pick the job up.
+        Requeueing a ``completed`` record would discard a finished
+        result and raises :class:`WorkerError` instead — checked against
+        the on-disk record, not just the caller's snapshot, so a job
+        that completed since the caller last looked is protected too.
+        """
+        current = self.get(record.job_id, missing_ok=True) or record
+        if COMPLETED in (record.status, current.status):
+            raise WorkerError(f"refusing to requeue completed job {record.job_id!r}")
+        current.status = QUEUED
+        current.started_at = None
+        current.finished_at = None
+        current.result = None
+        current.error = ""
+        self.save(current)
+        self.release(current.job_id)
+        return current
+
+    # -- worker claims ------------------------------------------------------
+
+    def claim(self, job_id: str, owner: str = "") -> bool:
+        """Atomically claim ``job_id`` for ``owner``.
+
+        Returns ``True`` when this call created the claim file (the
+        caller now owns the job), ``False`` when another worker already
+        holds it.  ``O_CREAT | O_EXCL`` makes the create-or-fail decision
+        a single atomic filesystem operation.
+        """
+        payload = {"owner": owner, "pid": os.getpid(), "claimed_at": time.time()}
+        try:
+            fd = os.open(self.claim_path(job_id), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return True
+
+    def release(self, job_id: str, owner: str | None = None) -> bool:
+        """Drop ``job_id``'s claim (no-op when none exists).
+
+        With ``owner`` given, the claim is only dropped when that owner
+        holds it — a worker releasing in its ``finally`` must not unlink
+        a claim that was recovered from it and re-granted to someone
+        else in the meantime.  Without ``owner`` the release is
+        unconditional (the recovery/requeue paths).  Returns whether a
+        claim was removed.
+        """
+        if owner is not None:
+            info = self.claim_info(job_id)
+            if info is None:
+                return False
+            if info.get("owner", "") not in ("", owner):
+                return False
+        try:
+            self.claim_path(job_id).unlink()
+        except FileNotFoundError:
+            return False
+        return True
+
+    def claim_info(self, job_id: str) -> dict | None:
+        """The claim payload (owner, pid, claimed_at), or ``None``."""
+        path = self.claim_path(job_id)
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            # Claim created but not yet written (or torn by a crash):
+            # treat it as held with unknown metadata.
+            return {}
+
+    def claimed_job_ids(self) -> list[str]:
+        """Every job id currently claimed by some worker."""
+        return sorted(path.stem for path in self.claims_dir.glob("*.claim"))
+
+    def recover_stale_claims(self, max_age_seconds: float = 3600.0) -> list[str]:
+        """Release claims whose worker is evidently gone.
+
+        Two cases are recovered: a claim for a job that already finished
+        (``completed``/``failed`` — the worker crashed between marking
+        and releasing) is simply dropped, and a claim older than
+        ``max_age_seconds`` on an unfinished job is dropped *and* the
+        record is requeued so another worker can take over.  Returns the
+        recovered job ids.
+        """
+        recovered = []
+        now = time.time()
+        for job_id in self.claimed_job_ids():
+            record = self.get(job_id, missing_ok=True)
+            if record is None or record.status in (COMPLETED, FAILED):
+                self.release(job_id)
+                recovered.append(job_id)
+                continue
+            info = self.claim_info(job_id) or {}
+            claimed_at = float(info.get("claimed_at") or 0.0)
+            if not claimed_at:
+                try:
+                    claimed_at = self.claim_path(job_id).stat().st_mtime
+                except FileNotFoundError:
+                    continue
+            if now - claimed_at > max_age_seconds:
+                # Re-read just before acting: the job may have finished
+                # between the listing above and now, and a finished
+                # record only needs its claim dropped, never a requeue.
+                current = self.get(job_id, missing_ok=True)
+                if current is None or current.status in (COMPLETED, FAILED):
+                    self.release(job_id)
+                else:
+                    self.requeue(current)
+                recovered.append(job_id)
+        return recovered
 
     def __repr__(self) -> str:
         return f"JobStore({str(self.root)!r})"

@@ -1,0 +1,203 @@
+"""Queue worker: claims queued jobs from a shared store and executes them.
+
+This is the execution half of the detached submission flow.  ``repro
+submit --detach`` only *writes* ``queued`` records; a :class:`Worker`
+(the ``repro worker`` command, or any number of them on machines that
+share the state directory) later claims each record via the store's
+atomic ``O_CREAT | O_EXCL`` claim files, runs it through the existing
+:class:`~repro.service.runner.JobRunner`, and marks it ``completed`` or
+``failed``.  Because a claim either exists or does not — there is no
+in-between state the filesystem can expose — two workers draining one
+queue never execute the same job, which is the invariant cross-machine
+distribution builds on.
+
+The claim protocol, spelled out:
+
+1. list queued records, oldest first;
+2. for each, try ``store.claim(job_id)`` — losing the race simply means
+   another worker owns that job, move on;
+3. after winning, *re-read the record*: a job that finished between the
+   listing and the claim is skipped, not re-run;
+4. run, mark, and release the claim in a ``finally`` block.
+
+A worker that dies between claiming and releasing leaves a stale claim;
+:meth:`~repro.service.store.JobStore.recover_stale_claims` (run at every
+worker start and poll) requeues such jobs once the claim outlives
+``stale_after`` seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+
+from repro.exceptions import WorkerError
+from repro.service.backends import create_backend
+from repro.service.checkpoint import FORMAT_VERSION
+from repro.service.runner import JobOutcome, JobRunner
+from repro.service.store import QUEUED, JobRecord, JobStore
+
+
+class Worker:
+    """Claims and executes queued jobs from a :class:`JobStore`.
+
+    Parameters
+    ----------
+    store:
+        The shared state directory; multiple workers may point at one.
+    backend / max_workers:
+        Execution backend for the runner each claimed job goes through.
+        The default (``serial``) is right for fleets: parallelism comes
+        from running more workers, not from fanning out inside one.
+    use_cache:
+        Thread the store's persistent evaluation cache through each job.
+    cache_max_entries:
+        LRU bound for worker-opened cache handles (``None`` = unbounded).
+    worker_id:
+        Identity recorded in claim files; defaults to ``host-pid``.
+    stale_after:
+        Claims older than this many seconds are treated as abandoned and
+        their jobs requeued (must be positive).  Set it comfortably
+        above your longest job's wall time: claims are not refreshed
+        mid-run, so a job still legitimately running past ``stale_after``
+        would be requeued and double-executed (worker heartbeats are a
+        ROADMAP item).
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        use_cache: bool = True,
+        cache_max_entries: int | None = None,
+        worker_id: str = "",
+        stale_after: float = 3600.0,
+    ) -> None:
+        if stale_after <= 0:
+            raise WorkerError(f"stale_after must be positive, got {stale_after}")
+        # Fail fast on bad runner configuration: discovering it only
+        # after claiming and marking a job running would strand records.
+        create_backend(backend, max_workers)
+        if cache_max_entries is not None and cache_max_entries < 1:
+            raise WorkerError(
+                f"cache_max_entries must be >= 1, got {cache_max_entries}"
+            )
+        self.store = store
+        self.backend = backend
+        self.max_workers = max_workers
+        self.use_cache = use_cache
+        self.cache_max_entries = cache_max_entries
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.stale_after = float(stale_after)
+
+    def _runner_for(self, record: JobRecord) -> JobRunner:
+        """A runner honouring the record's submit-time checkpoint cadence."""
+        return JobRunner(
+            backend=self.backend,
+            max_workers=self.max_workers,
+            cache_path=str(self.store.cache_path) if self.use_cache else None,
+            cache_max_entries=self.cache_max_entries,
+            checkpoint_dir=str(self.store.checkpoints_dir),
+            checkpoint_every=int(record.extras.get("checkpoint_every", 0)),
+        )
+
+    def _resumable(self, record: JobRecord) -> bool:
+        """A valid checkpoint for exactly this job exists on disk."""
+        path = self.store.checkpoints_dir / f"{record.job_id}.json"
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError):
+            return False
+        return (
+            payload.get("version") == FORMAT_VERSION
+            and payload.get("fingerprint") == record.job.fingerprint()
+        )
+
+    def process(self, record: JobRecord) -> JobOutcome | None:
+        """Claim and execute one record; ``None`` when it isn't ours to run.
+
+        Returns the settled :class:`JobOutcome` (the record is marked
+        ``completed`` or ``failed`` accordingly) when this worker won the
+        claim, ``None`` when another worker holds the job or the record
+        stopped being queued before the claim landed.  A job left behind
+        by an interrupted worker continues from its checkpoint instead
+        of restarting: checkpoints are fingerprint-validated, so only a
+        checkpoint of this exact job is ever resumed.
+        """
+        if not self.store.claim(record.job_id, owner=self.worker_id):
+            return None
+        try:
+            current = self.store.get(record.job_id, missing_ok=True)
+            if current is None or current.status != QUEUED:
+                return None
+            # Build the runner before mark_running: a construction error
+            # must leave the record queued, not stranded in running.
+            runner = self._runner_for(current)
+            self.store.mark_running(current)
+            (outcome,) = runner.run_settled(
+                [current.job], resume=self._resumable(current)
+            )
+            if outcome.ok:
+                self.store.mark_completed(current, outcome.result)
+            else:
+                self.store.mark_failed(current, outcome.error)
+            return outcome
+        finally:
+            self.store.release(record.job_id, owner=self.worker_id)
+
+    def run_once(self, max_jobs: int = 0) -> list[JobOutcome]:
+        """Drain the queue: claim and run jobs until none are claimable.
+
+        Jobs claimed by other workers are left alone; the loop exits
+        when a full pass over the queue wins no claim, or — with
+        ``max_jobs`` set — as soon as that many jobs have run.  Stale
+        claims are recovered first, so jobs abandoned by a crashed
+        worker re-enter this very drain.
+        """
+        self.store.recover_stale_claims(self.stale_after)
+        outcomes: list[JobOutcome] = []
+        while True:
+            progressed = False
+            for record in self.store.queued():
+                if max_jobs and len(outcomes) >= max_jobs:
+                    return outcomes
+                outcome = self.process(record)
+                if outcome is not None:
+                    outcomes.append(outcome)
+                    progressed = True
+            if not progressed or (max_jobs and len(outcomes) >= max_jobs):
+                return outcomes
+
+    def run(
+        self,
+        poll_seconds: float = 2.0,
+        max_jobs: int = 0,
+        idle_exit: int = 0,
+    ) -> list[JobOutcome]:
+        """Poll-and-drain loop for a long-lived worker process.
+
+        Drains the queue, sleeps ``poll_seconds``, repeats.  ``max_jobs``
+        stops after that many executed jobs and ``idle_exit`` after that
+        many consecutive empty polls; both default to 0, meaning "no
+        limit" — the loop then only ends by external termination.
+        """
+        if poll_seconds <= 0:
+            raise WorkerError(f"poll_seconds must be positive, got {poll_seconds}")
+        outcomes: list[JobOutcome] = []
+        idle_polls = 0
+        while True:
+            remaining = max_jobs - len(outcomes) if max_jobs else 0
+            batch = self.run_once(max_jobs=remaining)
+            outcomes.extend(batch)
+            if max_jobs and len(outcomes) >= max_jobs:
+                return outcomes
+            idle_polls = 0 if batch else idle_polls + 1
+            if idle_exit and idle_polls >= idle_exit:
+                return outcomes
+            time.sleep(poll_seconds)
+
+    def __repr__(self) -> str:
+        return f"Worker({self.worker_id!r}, store={self.store!r})"

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.linkage import (
     blocked_candidate_pairs,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data import CategoricalDataset, CategoricalDomain, DatasetSchema
+from repro.data import CategoricalDataset
 from repro.exceptions import SchemaError
 
 

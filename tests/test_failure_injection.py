@@ -8,7 +8,6 @@ ReproError (or subclass) at the point of entry — not as a wrong score.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import EvolutionaryProtector

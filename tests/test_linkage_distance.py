@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import LinkageError
 from repro.linkage import (
     attribute_distance_columns,
     cross_distance_matrix,

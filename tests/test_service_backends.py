@@ -51,6 +51,12 @@ class TestCreateBackend:
         backend = ThreadBackend(max_workers=3)
         assert create_backend(backend) is backend
 
+    def test_instance_with_max_workers_rejected(self):
+        # Regression: max_workers used to be silently ignored here,
+        # misleading callers about the pool size they were getting.
+        with pytest.raises(ServiceError, match="pre-built"):
+            create_backend(ThreadBackend(max_workers=3), max_workers=8)
+
     def test_unknown_name_rejected(self):
         with pytest.raises(ServiceError, match="unknown backend"):
             create_backend("quantum")

@@ -28,7 +28,9 @@ class TestEvaluationCache:
         cache.put("k", _score())
         stored = cache.get("k")
         assert stored == _score()
-        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "writes": 1}
+        assert cache.stats() == {
+            "entries": 1, "hits": 1, "misses": 1, "writes": 1, "evictions": 0,
+        }
 
     def test_persists_across_instances(self, tmp_path):
         path = tmp_path / "cache.sqlite"
@@ -55,6 +57,41 @@ class TestEvaluationCache:
     def test_score_serde_roundtrip(self):
         score = _score(0.123456789)
         assert score_from_dict(score_to_dict(score)) == score
+
+    def test_stats_safe_after_close(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "cache.sqlite")
+        cache.put("k", _score())
+        cache.get("k")
+        cache.close()
+        cache.close()  # idempotent
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["writes"] == 1
+
+    def test_counters_exact_under_concurrent_use(self, tmp_path):
+        # Regression: hits/misses/writes were mutated outside the lock,
+        # so a shared instance under the thread backend dropped updates.
+        import threading
+
+        cache = EvaluationCache(tmp_path / "cache.sqlite")
+        n_threads, n_ops = 8, 50
+
+        def hammer(thread_index: int) -> None:
+            for op in range(n_ops):
+                cache.get(f"missing-{thread_index}-{op}")
+                cache.put(f"key-{thread_index}-{op}", _score())
+                cache.get(f"key-{thread_index}-{op}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert cache.misses == n_threads * n_ops
+        assert cache.writes == n_threads * n_ops
+        assert cache.hits == n_threads * n_ops
 
 
 class TestEvaluatorIntegration:

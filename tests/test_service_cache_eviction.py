@@ -1,0 +1,164 @@
+"""LRU eviction and schema migration of the bounded evaluation cache."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.metrics import ProtectionScore
+from repro.service import EvaluationCache, JobRunner, ProtectionJob
+
+
+def _score(value: float = 1.0) -> ProtectionScore:
+    return ProtectionScore(
+        information_loss=value,
+        disclosure_risk=2 * value,
+        score=2 * value,
+        il_components={},
+        dr_components={},
+    )
+
+
+class TestBound:
+    def test_put_never_exceeds_bound(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "cache.sqlite", max_entries=3)
+        for i in range(10):
+            cache.put(f"k{i}", _score(float(i)))
+            assert len(cache) <= 3
+        assert len(cache) == 3
+        assert cache.evictions == 7
+
+    def test_bound_keeps_most_recently_written(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "cache.sqlite", max_entries=2)
+        for i in range(4):
+            cache.put(f"k{i}", _score(float(i)))
+        assert cache.get("k0") is None and cache.get("k1") is None
+        assert cache.get("k2") is not None and cache.get("k3") is not None
+
+    def test_get_refreshes_lru_position(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "cache.sqlite", max_entries=3)
+        cache.put("a", _score(1.0))
+        cache.put("b", _score(2.0))
+        cache.put("c", _score(3.0))
+        assert cache.get("a") is not None  # a is now most recently used
+        cache.put("d", _score(4.0))  # evicts b, the least recently used
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None and cache.get("d") is not None
+
+    def test_bad_bound_rejected(self, tmp_path):
+        with pytest.raises(ServiceError, match="max_entries"):
+            EvaluationCache(tmp_path / "cache.sqlite", max_entries=0)
+
+    def test_unbounded_hits_do_not_write(self, tmp_path):
+        # The unbounded read path must stay write-free: hits leave
+        # accessed_at at its write-time value.
+        path = tmp_path / "cache.sqlite"
+        cache = EvaluationCache(path)
+        cache.put("k", _score())
+        (written_at,) = cache._conn.execute(
+            "SELECT accessed_at FROM evaluations WHERE key = 'k'"
+        ).fetchone()
+        assert cache.get("k") is not None
+        (after_hit,) = cache._conn.execute(
+            "SELECT accessed_at FROM evaluations WHERE key = 'k'"
+        ).fetchone()
+        assert after_hit == written_at
+
+
+class TestEvict:
+    def test_manual_evict_to_bound(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "cache.sqlite")
+        for i in range(5):
+            cache.put(f"k{i}", _score(float(i)))
+        assert cache.evict(2) == 3
+        assert len(cache) == 2
+
+    def test_evict_below_bound_is_noop(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "cache.sqlite")
+        cache.put("k", _score())
+        assert cache.evict(10) == 0
+        assert len(cache) == 1
+
+    def test_evict_uses_instance_bound(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "cache.sqlite", max_entries=2)
+        assert cache.evict() == 0
+
+    def test_evict_without_any_bound_rejected(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "cache.sqlite")
+        with pytest.raises(ServiceError, match="max_entries"):
+            cache.evict()
+
+    def test_evict_to_zero_empties_store(self, tmp_path):
+        cache = EvaluationCache(tmp_path / "cache.sqlite")
+        cache.put("k", _score())
+        assert cache.evict(0) == 1
+        assert len(cache) == 0
+
+
+class TestMigration:
+    def test_pre_accessed_at_store_is_migrated(self, tmp_path):
+        # Build a cache file with the PR-1 schema (no accessed_at).
+        path = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE evaluations (key TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+        )
+        conn.execute(
+            "INSERT INTO evaluations (key, payload) VALUES (?, ?)",
+            ("old-key", '{"information_loss": 1.0, "disclosure_risk": 2.0, '
+                        '"score": 2.0, "il_components": {}, "dr_components": {}}'),
+        )
+        conn.commit()
+        conn.close()
+
+        with EvaluationCache(path, max_entries=5) as cache:
+            assert cache.get("old-key") == _score(1.0)
+            cache.put("new-key", _score(2.0))
+            assert len(cache) == 2
+
+    def test_migrated_untouched_rows_evict_first(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE evaluations (key TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+        )
+        payload = ('{"information_loss": 1.0, "disclosure_risk": 2.0, "score": 2.0, '
+                   '"il_components": {}, "dr_components": {}}')
+        for key in ("legacy-1", "legacy-2"):
+            conn.execute(
+                "INSERT INTO evaluations (key, payload) VALUES (?, ?)", (key, payload)
+            )
+        conn.commit()
+        conn.close()
+
+        cache = EvaluationCache(path, max_entries=2)
+        cache.put("fresh", _score())
+        # Legacy rows carry accessed_at=0, so they are the LRU victims
+        # in insertion order: legacy-1 goes first.
+        assert cache.get("legacy-1") is None
+        assert cache.get("fresh") is not None
+
+
+class TestEvictionNeverChangesScores:
+    def test_warm_rerun_against_evicted_cache_is_byte_identical(self, tmp_path):
+        # Acceptance: eviction only costs recomputation. A bounded cache
+        # re-run yields identical scores with more fresh evaluations
+        # than a fully-warm re-run would have needed.
+        job = ProtectionJob(dataset="adult", generations=1, seed=11)
+        cache_path = str(tmp_path / "cache.sqlite")
+
+        (cold,) = JobRunner(cache_path=cache_path).run([job])
+        (warm,) = JobRunner(cache_path=cache_path).run([job])
+        assert warm.final_scores == cold.final_scores
+        assert warm.fresh_evaluations < cold.fresh_evaluations
+
+        with EvaluationCache(cache_path) as cache:
+            assert cache.evict(5) > 0
+
+        (evicted,) = JobRunner(cache_path=cache_path, cache_max_entries=5).run([job])
+        assert evicted.final_scores == cold.final_scores
+        assert evicted.best_score == cold.best_score
+        assert evicted.fresh_evaluations > warm.fresh_evaluations

@@ -1,0 +1,90 @@
+"""Claim-file protocol: atomic exclusivity, races, and worker partitioning."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service import JobStore, ProtectionJob, Worker
+
+
+def _job(seed: int = 1) -> ProtectionJob:
+    return ProtectionJob(dataset="adult", generations=1, seed=seed)
+
+
+class TestClaimProtocol:
+    def test_claim_is_exclusive(self, tmp_path):
+        store = JobStore(tmp_path)
+        assert store.claim("j1", owner="a") is True
+        assert store.claim("j1", owner="b") is False
+        store.release("j1")
+        assert store.claim("j1", owner="b") is True
+
+    def test_claim_info_records_owner(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.claim("j1", owner="worker-7")
+        info = store.claim_info("j1")
+        assert info["owner"] == "worker-7"
+        assert info["claimed_at"] > 0
+        assert store.claim_info("unclaimed") is None
+
+    def test_release_is_idempotent(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.release("never-claimed")
+        store.claim("j1")
+        store.release("j1")
+        store.release("j1")
+        assert store.claimed_job_ids() == []
+
+    def test_claimed_job_ids_lists_holders(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.claim("b")
+        store.claim("a")
+        assert store.claimed_job_ids() == ["a", "b"]
+
+    def test_racing_claims_have_one_winner(self, tmp_path):
+        store = JobStore(tmp_path)
+        winners = []
+        barrier = threading.Barrier(8)
+
+        def contend(worker: int) -> None:
+            barrier.wait()
+            if store.claim("contested", owner=str(worker)):
+                winners.append(worker)
+
+        threads = [threading.Thread(target=contend, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(winners) == 1
+
+
+class TestConcurrentWorkers:
+    def test_two_workers_partition_one_queue(self, tmp_path):
+        # The acceptance invariant: two workers draining a shared state
+        # directory never execute the same job, and together they drain
+        # the whole queue.
+        store = JobStore(tmp_path)
+        jobs = [_job(seed) for seed in (1, 2, 3, 4)]
+        for job in jobs:
+            store.submit(job)
+
+        executed: dict[str, list[str]] = {"w1": [], "w2": []}
+        barrier = threading.Barrier(2)
+
+        def drain(name: str) -> None:
+            worker = Worker(JobStore(tmp_path), worker_id=name)
+            barrier.wait()
+            executed[name] = [out.job_id for out in worker.run_once()]
+
+        threads = [threading.Thread(target=drain, args=(n,)) for n in executed]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert set(executed["w1"]).isdisjoint(executed["w2"])
+        assert sorted(executed["w1"] + executed["w2"]) == sorted(j.job_id for j in jobs)
+        for job in jobs:
+            assert store.get(job.job_id).status == "completed"
+        assert store.claimed_job_ids() == []

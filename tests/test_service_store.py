@@ -70,6 +70,25 @@ class TestJobStore:
         assert again.status == "completed"
         assert again.result is not None
 
+    def test_resubmit_running_returns_existing(self, tmp_path):
+        # Regression: resubmitting a running job used to reset it to
+        # queued, clobbering started_at and orphaning the live worker.
+        store = JobStore(tmp_path)
+        record = store.submit(_job())
+        store.mark_running(record)
+        started_at = store.get(record.job_id).started_at
+        again = store.submit(_job())
+        assert again.status == "running"
+        assert again.started_at == pytest.approx(started_at)
+        assert store.get(record.job_id).status == "running"
+
+    def test_resubmit_queued_returns_existing(self, tmp_path):
+        store = JobStore(tmp_path)
+        record = store.submit(_job())
+        again = store.submit(_job())
+        assert again.status == "queued"
+        assert again.submitted_at == pytest.approx(record.submitted_at)
+
     def test_resubmit_failed_requeues(self, tmp_path):
         store = JobStore(tmp_path)
         record = store.submit(_job())

@@ -1,0 +1,242 @@
+"""Worker lifecycle: draining, failure marking, requeue, stale recovery."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.exceptions import WorkerError
+from repro.service import JobStore, ProtectionJob, Worker
+
+
+def _job(seed: int = 1, generations: int = 1) -> ProtectionJob:
+    return ProtectionJob(dataset="adult", generations=generations, seed=seed)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path)
+
+
+class TestRunOnce:
+    def test_drains_queue_and_completes(self, store):
+        first = store.submit(_job(1))
+        second = store.submit(_job(2))
+        outcomes = Worker(store).run_once()
+        assert sorted(out.job_id for out in outcomes) == sorted(
+            [first.job_id, second.job_id]
+        )
+        assert all(out.ok for out in outcomes)
+        for record in (first, second):
+            loaded = store.get(record.job_id)
+            assert loaded.status == "completed"
+            assert loaded.result is not None
+        assert store.claimed_job_ids() == []
+
+    def test_empty_queue_returns_nothing(self, store):
+        assert Worker(store).run_once() == []
+
+    def test_failure_marks_failed_and_releases(self, store):
+        record = store.submit(ProtectionJob(dataset="no-such-dataset", generations=1))
+        (outcome,) = Worker(store).run_once()
+        assert not outcome.ok
+        loaded = store.get(record.job_id)
+        assert loaded.status == "failed"
+        assert loaded.error
+        assert store.claimed_job_ids() == []
+
+    def test_honours_submit_time_checkpoint_cadence(self, store):
+        record = store.submit(_job(3, generations=2))
+        record.extras["checkpoint_every"] = 1
+        store.save(record)
+        (outcome,) = Worker(store).run_once()
+        assert outcome.ok
+        assert (store.checkpoints_dir / f"{record.job_id}.json").exists()
+
+    def test_skips_jobs_claimed_elsewhere(self, store):
+        record = store.submit(_job(1))
+        store.claim(record.job_id, owner="someone-else")
+        assert Worker(store).run_once() == []
+        assert store.get(record.job_id).status == "queued"
+
+    def test_process_skips_record_that_left_queue(self, store):
+        record = store.submit(_job(1))
+        stale_view = store.get(record.job_id)
+        store.mark_running(record)
+        assert Worker(store).process(stale_view) is None
+        assert store.get(record.job_id).status == "running"
+        assert store.claimed_job_ids() == []
+
+
+class TestRunLoop:
+    def test_idle_exit_stops_polling(self, store):
+        outcomes = Worker(store).run(poll_seconds=0.01, idle_exit=2)
+        assert outcomes == []
+
+    def test_max_jobs_stops_after_bound(self, store):
+        store.submit(_job(1))
+        store.submit(_job(2))
+        outcomes = Worker(store).run(poll_seconds=0.01, max_jobs=1)
+        assert len(outcomes) == 1
+        statuses = sorted(r.status for r in store.records())
+        assert statuses == ["completed", "queued"]
+
+    def test_bad_parameters_rejected(self, store):
+        with pytest.raises(WorkerError, match="stale_after"):
+            Worker(store, stale_after=0)
+        with pytest.raises(WorkerError, match="poll_seconds"):
+            Worker(store).run(poll_seconds=0)
+
+    def test_bad_runner_config_fails_before_claiming(self, store):
+        # Regression: a runner-construction error discovered only after
+        # mark_running would strand the record in `running` forever.
+        from repro.exceptions import ServiceError
+
+        record = store.submit(_job(1))
+        with pytest.raises(ServiceError):
+            Worker(store, backend="quantum")
+        with pytest.raises(WorkerError, match="cache_max_entries"):
+            Worker(store, cache_max_entries=0)
+        assert store.get(record.job_id).status == "queued"
+        assert store.claimed_job_ids() == []
+
+
+class TestRequeue:
+    def test_requeue_clears_attempt_state(self, store):
+        record = store.submit(_job(1))
+        store.mark_running(record)
+        store.claim(record.job_id)
+        requeued = store.requeue(record)
+        assert requeued.status == "queued"
+        assert requeued.started_at is None and requeued.error == ""
+        assert store.claimed_job_ids() == []
+
+    def test_requeue_failed_record(self, store):
+        record = store.submit(_job(1))
+        store.mark_failed(record, "boom")
+        assert store.requeue(record).status == "queued"
+
+    def test_requeue_completed_refused(self, store):
+        record = store.submit(_job(1))
+        assert Worker(store).run_once()[0].ok
+        completed = store.get(record.job_id)
+        with pytest.raises(WorkerError, match="refusing to requeue"):
+            store.requeue(completed)
+
+    def test_requeue_checks_on_disk_status(self, store):
+        # Regression: requeue with a stale 'running' snapshot must not
+        # clobber a record another worker completed meanwhile.
+        from repro.service import JobResult
+
+        record = store.submit(_job(1))
+        store.mark_running(record)
+        stale_view = store.get(record.job_id)
+        result = JobResult(
+            job_id=record.job_id, dataset="adult", seed=1, generations=1,
+            best_score=1.0, best_information_loss=1.0, best_disclosure_risk=1.0,
+            final_scores=(1.0,), mean_improvement_percent=0.0,
+            fresh_evaluations=1, memo_hits=0, persistent_hits=0, wall_seconds=0.1,
+        )
+        store.mark_completed(record, result)
+        with pytest.raises(WorkerError, match="refusing to requeue"):
+            store.requeue(stale_view)
+        assert store.get(record.job_id).status == "completed"
+
+
+class TestStaleClaimRecovery:
+    def _age_claim(self, store, job_id, seconds):
+        path = store.claim_path(job_id)
+        info = json.loads(path.read_text(encoding="utf-8"))
+        info["claimed_at"] = time.time() - seconds
+        path.write_text(json.dumps(info), encoding="utf-8")
+
+    def test_old_claim_on_running_job_requeues(self, store):
+        record = store.submit(_job(1))
+        store.claim(record.job_id, owner="crashed-worker")
+        store.mark_running(record)
+        self._age_claim(store, record.job_id, seconds=7200)
+        recovered = store.recover_stale_claims(max_age_seconds=3600)
+        assert recovered == [record.job_id]
+        assert store.get(record.job_id).status == "queued"
+        assert store.claimed_job_ids() == []
+
+    def test_fresh_claim_left_alone(self, store):
+        record = store.submit(_job(1))
+        store.claim(record.job_id)
+        store.mark_running(record)
+        assert store.recover_stale_claims(max_age_seconds=3600) == []
+        assert store.claimed_job_ids() == [record.job_id]
+
+    def test_claim_for_finished_job_dropped(self, store):
+        record = store.submit(_job(1))
+        store.mark_failed(record, "boom")
+        store.claim(record.job_id)
+        recovered = store.recover_stale_claims(max_age_seconds=3600)
+        assert recovered == [record.job_id]
+        # The failed record itself is untouched — only the claim went.
+        assert store.get(record.job_id).status == "failed"
+
+    def test_recovered_job_is_rerun_by_next_worker(self, store):
+        record = store.submit(_job(1))
+        store.claim(record.job_id, owner="crashed-worker")
+        store.mark_running(record)
+        self._age_claim(store, record.job_id, seconds=7200)
+        worker = Worker(store, stale_after=3600)
+        (outcome,) = worker.run_once()
+        assert outcome.ok and outcome.job_id == record.job_id
+        assert store.get(record.job_id).status == "completed"
+
+    def test_recovered_job_resumes_from_checkpoint(self, store):
+        # Regression: recovery used to re-run interrupted jobs from
+        # scratch, discarding the checkpoint the crashed worker wrote.
+        job = _job(7, generations=3)
+        record = store.submit(job)
+        record.extras["checkpoint_every"] = 2
+        store.save(record)
+        worker = Worker(store, use_cache=False)
+        (full,) = worker.run_once()
+        assert full.ok
+        assert (store.checkpoints_dir / f"{record.job_id}.json").exists()
+
+        # Simulate a crash after the last checkpoint and its recovery.
+        crashed = store.get(record.job_id)
+        crashed.status = "running"
+        crashed.result = None
+        store.save(crashed)
+        store.requeue(crashed)
+        (resumed,) = worker.run_once()
+        assert resumed.ok
+        assert resumed.result.final_scores == full.result.final_scores
+        # Continuing from the checkpoint skips the work already done,
+        # so the resumed attempt evaluates strictly less than a rerun.
+        assert resumed.result.fresh_evaluations < full.result.fresh_evaluations
+
+    def test_foreign_checkpoint_is_not_resumed(self, store):
+        record = store.submit(_job(8))
+        (store.checkpoints_dir / f"{record.job_id}.json").write_text(
+            '{"version": 1, "fingerprint": "someone-else"}'
+        )
+        assert Worker(store)._resumable(record) is False
+
+    def test_release_respects_ownership(self, store):
+        # Regression: a worker's final release used to unlink claims it
+        # no longer owned, cascading double-runs into triple-runs.
+        store.claim("j1", owner="worker-a")
+        assert store.release("j1", owner="worker-b") is False
+        assert store.claimed_job_ids() == ["j1"]
+        assert store.release("j1", owner="worker-a") is True
+        assert store.claimed_job_ids() == []
+        assert store.release("j1", owner="worker-a") is False
+
+    def test_resubmit_failed_drops_leftover_claim(self, store):
+        # Regression: a crash between mark_failed and release left a
+        # claim that made the resubmitted job unclaimable for an hour.
+        record = store.submit(_job(9))
+        store.claim(record.job_id, owner="crashed-worker")
+        store.mark_failed(record, "boom")
+        again = store.submit(_job(9))
+        assert again.status == "queued"
+        assert store.claimed_job_ids() == []
+        assert store.claim(record.job_id, owner="next-worker") is True
