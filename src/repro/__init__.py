@@ -152,6 +152,8 @@ __all__ = [
     "EvaluationCache",
     "CheckpointManager",
     "JobStore",
+    "RemoteJobStore",
+    "JobStoreServer",
     "Worker",
 ]
 
@@ -162,6 +164,8 @@ _SERVICE_NAMES = {
     "EvaluationCache",
     "CheckpointManager",
     "JobStore",
+    "RemoteJobStore",
+    "JobStoreServer",
     "Worker",
 }
 

@@ -210,7 +210,23 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 # -- service subcommands ----------------------------------------------------
 
 
+# Claims held by inline submit/resume runs beat at this fixed cadence —
+# comfortably inside any sane --stale-after, without knowing it.
+_INLINE_HEARTBEAT_SECONDS = 15.0
+
+
+def _store_token(args: argparse.Namespace) -> str:
+    return getattr(args, "token", "") or os.environ.get("REPRO_TOKEN", "")
+
+
 def _job_store(args: argparse.Namespace):
+    store_url = getattr(args, "store_url", "")
+    if store_url:
+        from repro.service.netstore import RemoteJobStore
+
+        return RemoteJobStore(
+            store_url, token=_store_token(args), spool=args.state_dir or None
+        )
     from repro.service.store import JobStore
 
     return JobStore(args.state_dir) if args.state_dir else JobStore()
@@ -262,50 +278,63 @@ def cmd_submit(args: argparse.Namespace) -> int:
         drop_best_fraction=args.drop_best,
     )
     jobs = [base.with_seed(seed) for seed in _parse_seeds(args)]
-    records = [store.submit(job) for job in jobs]
+    # The cadence rides in the initial queued write so a worker that
+    # claims the record the instant it lands already honours it.
+    records = [
+        store.submit(job, extras={"checkpoint_every": args.checkpoint_every})
+        for job in jobs
+    ]
     for record in records:
         if record.status == "completed":
             print(f"{record.job_id}: already completed, skipping (resubmit idempotent)")
         elif record.status == "running":
             print(f"{record.job_id}: already running, skipping (a worker owns it)")
     pending = [r for r in records if r.status == "queued"]
-    for record in pending:
-        # Persist the cadence while queued so a detached worker can honour it.
-        record.extras["checkpoint_every"] = args.checkpoint_every
-        store.save(record)
     if args.detach:
         rows = [_result_row(store.get(record.job_id)) for record in records]
         print(format_table(_STATUS_HEADER, rows,
                            title=f"queued {len(pending)} job(s) (detached)"))
-        print(f"state dir: {store.root}")
-        print("run them with: repro worker --once"
-              + (f" --state-dir {store.root}" if args.state_dir else ""))
+        print(f"store: {_store_label(store)}" if args.store_url
+              else f"state dir: {store.root}")
+        if args.store_url:
+            hint = f" --store-url {args.store_url}" + (" --token <token>" if _store_token(args) else "")
+        else:
+            hint = f" --state-dir {store.root}" if args.state_dir else ""
+        print(f"run them with: repro worker --once{hint}")
         return 0
+    from repro.service.worker import (
+        ClaimHeartbeat,
+        claim_queued,
+        release_quietly,
+        unique_owner,
+    )
+
     failures = 0
+    # Build the runner before claiming anything: a configuration error
+    # must surface with zero claims held, not strand queued jobs.
+    runner = JobRunner(
+        backend=args.backend,
+        max_workers=args.workers,
+        cache_path=None if args.no_cache else str(store.cache_path),
+        checkpoint_dir=str(store.checkpoints_dir),
+        checkpoint_every=args.checkpoint_every,
+    )
     # Claim before running so a concurrently polling `repro worker`
     # cannot pick up the same jobs, then re-read inside the claim: a
     # job a worker finished between our submit and our claim must not
     # be re-run or have its result clobbered.
-    owner = f"submit-{os.getpid()}"
-    mine = []
-    for record in pending:
-        if not store.claim(record.job_id, owner=owner):
+    owner = unique_owner("submit")
+
+    def report_skip(record, reason):
+        if reason == "claimed":
             print(f"{record.job_id}: claimed by another worker, skipping")
-            continue
-        current = store.get(record.job_id, missing_ok=True)
-        if current is None or current.status != "queued":
-            store.release(record.job_id, owner=owner)
+        else:
             print(f"{record.job_id}: no longer queued, skipping")
-            continue
-        mine.append(current)
+
+    mine = claim_queued(store, pending, owner, on_skipped=report_skip)
     if mine:
-        runner = JobRunner(
-            backend=args.backend,
-            max_workers=args.workers,
-            cache_path=None if args.no_cache else str(store.cache_path),
-            checkpoint_dir=str(store.checkpoints_dir),
-            checkpoint_every=args.checkpoint_every,
-        )
+        beat = ClaimHeartbeat(store, [r.job_id for r in mine], owner,
+                              _INLINE_HEARTBEAT_SECONDS).start()
         try:
             for record in mine:
                 store.mark_running(record)
@@ -317,19 +346,44 @@ def cmd_submit(args: argparse.Namespace) -> int:
                     store.mark_failed(record, outcome.error)
                     print(f"{record.job_id} failed: {outcome.error}", file=sys.stderr)
         finally:
-            for record in mine:
-                store.release(record.job_id, owner=owner)
+            beat.stop()
+            release_quietly(store, [r.job_id for r in mine], owner)
     rows = [_result_row(store.get(record.job_id)) for record in records]
     print(format_table(_STATUS_HEADER, rows, title=f"submitted via {args.backend} backend"))
-    print(f"state dir: {store.root}")
+    print(f"store: {_store_label(store)}" if args.store_url
+          else f"state dir: {store.root}")
     return 1 if failures else 0
+
+
+def _store_label(store) -> object:
+    """How to name a store to the operator: its server URL, or its root."""
+    return getattr(store, "base_url", None) or store.root
+
+
+def _claim_cells(claims: dict[str, dict], job_id: str) -> list[object]:
+    """Owner and heartbeat-age columns for the status table.
+
+    ``age_seconds`` is computed by the store against its own clock, so
+    the column stays truthful when this monitor's clock disagrees with
+    the server's.
+    """
+    info = claims.get(job_id)
+    if info is None:
+        return ["-", "-"]
+    owner = info.get("owner") or "?"
+    age = info.get("age_seconds")
+    return [owner, f"{age:.0f}s ago" if age is not None else "?"]
 
 
 def cmd_status(args: argparse.Namespace) -> int:
     store = _job_store(args)
+    label = _store_label(store)
+    header = _STATUS_HEADER + ["owner", "heartbeat"]
+    claims = store.claims()
     if args.job:
         record = store.get(args.job)
-        print(format_table(_STATUS_HEADER, [_result_row(record)], title=record.job_id))
+        row = _result_row(record) + _claim_cells(claims, record.job_id)
+        print(format_table(header, [row], title=record.job_id))
         if record.error:
             print(f"error: {record.error}")
         if record.result and record.result.checkpoint_path:
@@ -337,35 +391,26 @@ def cmd_status(args: argparse.Namespace) -> int:
         return 0
     records = store.records()
     if not records:
-        print(f"no jobs in {store.root}")
+        print(f"no jobs in {label}")
         return 0
-    print(format_table(_STATUS_HEADER, [_result_row(r) for r in records],
-                       title=f"jobs in {store.root}"))
+    rows = [_result_row(r) + _claim_cells(claims, r.job_id) for r in records]
+    print(format_table(header, rows, title=f"jobs in {label}"))
     return 0
 
 
 def cmd_resume(args: argparse.Namespace) -> int:
     from repro.service.runner import JobRunner
+    from repro.service.worker import ClaimHeartbeat, release_quietly, unique_owner
 
     store = _job_store(args)
     record = store.get(args.job)
     if record.status == "completed" and not args.force:
         print(f"{record.job_id} is already completed; use --force to re-resume")
         return 0
-    checkpoint = store.checkpoints_dir / f"{record.job_id}.json"
-    if not checkpoint.exists():
-        raise ReproError(
-            f"no checkpoint for {record.job_id} under {store.checkpoints_dir}; "
-            "was the job submitted with --checkpoint-every?"
-        )
-    runner = JobRunner(
-        backend=args.backend,
-        max_workers=args.workers,
-        cache_path=None if args.no_cache else str(store.cache_path),
-        checkpoint_dir=str(store.checkpoints_dir),
-        checkpoint_every=int(record.extras.get("checkpoint_every", 0)),
-    )
-    owner = f"resume-{os.getpid()}"
+    owner = unique_owner("resume")
+    # Claim before looking for the checkpoint: winning the claim is what
+    # pulls the fleet's latest checkpoint into the local spool when the
+    # store is remote.
     if not store.claim(record.job_id, owner=owner):
         if not args.force:
             raise ReproError(
@@ -376,6 +421,7 @@ def cmd_resume(args: argparse.Namespace) -> int:
         store.release(record.job_id)
         if not store.claim(record.job_id, owner=owner):
             raise ReproError(f"{record.job_id}: lost a claim race; retry")
+    beat = None
     try:
         # Re-read inside the claim: a worker may have finished the job
         # between our first read and the claim landing.
@@ -383,6 +429,21 @@ def cmd_resume(args: argparse.Namespace) -> int:
         if record.status == "completed" and not args.force:
             print(f"{record.job_id} was completed by another worker meanwhile")
             return 0
+        checkpoint = store.checkpoints_dir / f"{record.job_id}.json"
+        if not checkpoint.exists():
+            raise ReproError(
+                f"no checkpoint for {record.job_id} under {store.checkpoints_dir}; "
+                "was the job submitted with --checkpoint-every?"
+            )
+        runner = JobRunner(
+            backend=args.backend,
+            max_workers=args.workers,
+            cache_path=None if args.no_cache else str(store.cache_path),
+            checkpoint_dir=str(store.checkpoints_dir),
+            checkpoint_every=int(record.extras.get("checkpoint_every", 0)),
+        )
+        beat = ClaimHeartbeat(store, [record.job_id], owner,
+                              _INLINE_HEARTBEAT_SECONDS).start()
         store.mark_running(record)
         try:
             (result,) = runner.run([record.job], resume=True)
@@ -391,7 +452,9 @@ def cmd_resume(args: argparse.Namespace) -> int:
             raise
         store.mark_completed(record, result)
     finally:
-        store.release(record.job_id, owner=owner)
+        if beat is not None:
+            beat.stop()
+        release_quietly(store, [record.job_id], owner)
     print(format_table(_STATUS_HEADER, [_result_row(record)],
                        title=f"resumed {record.job_id}"))
     return 0
@@ -409,6 +472,8 @@ def cmd_worker(args: argparse.Namespace) -> int:
         cache_max_entries=args.cache_max_entries,
         worker_id=args.worker_id,
         stale_after=args.stale_after,
+        capacity=args.capacity,
+        heartbeat_every=args.heartbeat_every,
     )
     if args.once:
         outcomes = worker.run_once(max_jobs=args.max_jobs)
@@ -424,12 +489,41 @@ def cmd_worker(args: argparse.Namespace) -> int:
             failures += 1
             print(f"{outcome.job_id} failed: {outcome.error}", file=sys.stderr)
     if not outcomes:
-        print(f"no claimable queued jobs in {store.root}")
+        print(f"no claimable queued jobs in {_store_label(store)}")
         return 0
     rows = [_result_row(store.get(outcome.job_id)) for outcome in outcomes]
     print(format_table(_STATUS_HEADER, rows,
                        title=f"worker {worker.worker_id}: ran {len(outcomes)} job(s)"))
     return 1 if failures else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.netstore import JobStoreServer
+    from repro.service.store import JobStore
+
+    store = JobStore(args.state_dir) if args.state_dir else JobStore()
+    token = _store_token(args)
+    if not token:
+        print("warning: serving without a token; any client that can reach "
+              "this port can submit and claim jobs", file=sys.stderr)
+    server = JobStoreServer(store, host=args.host, port=args.port, token=token)
+    print(f"serving job store {store.root} at {server.url}")
+    # A wildcard bind address is not routable; advertise this host's
+    # name so the hint works when pasted on another machine.
+    advertised = server.url
+    if server.host in ("0.0.0.0", "::"):
+        import socket
+
+        advertised = f"http://{socket.gethostname()}:{server.port}"
+    print("point workers at it with: repro worker --store-url "
+          f"{advertised}" + (" --token <token>" if token else ""))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -510,9 +604,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--directory", required=True)
     p.set_defaults(fn=cmd_export)
 
-    def add_service_options(sp: argparse.ArgumentParser) -> None:
+    def add_store_options(sp: argparse.ArgumentParser) -> None:
         sp.add_argument("--state-dir", default="",
-                        help="service state directory (default: $REPRO_HOME or ~/.repro)")
+                        help="service state directory (default: $REPRO_HOME or "
+                             "~/.repro); with --store-url, the local spool")
+        sp.add_argument("--store-url", default="",
+                        help="use a network job store served by 'repro serve' "
+                             "(e.g. http://host:8642) instead of a local directory")
+        sp.add_argument("--token", default="",
+                        help="shared token for --store-url (default: $REPRO_TOKEN)")
+
+    def add_service_options(sp: argparse.ArgumentParser) -> None:
+        add_store_options(sp)
         sp.add_argument("--backend", default="serial", choices=["serial", "thread", "process"])
         sp.add_argument("--workers", type=int, default=None, help="pool size cap")
         sp.add_argument("--no-cache", action="store_true",
@@ -541,17 +644,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--idle-exit", type=int, default=0,
                    help="exit after this many consecutive empty polls (0 = never)")
     p.add_argument("--stale-after", type=float, default=3600.0,
-                   help="requeue jobs whose claim is older than this many seconds "
-                        "(set well above your longest job's wall time)")
-    p.add_argument("--worker-id", default="", help="claim-file identity (default: host-pid)")
+                   help="requeue jobs whose claim has not heartbeated for this "
+                        "many seconds; keep it well above 15s — inline "
+                        "'repro submit'/'resume' runs beat at that fixed cadence")
+    p.add_argument("--worker-id", default="",
+                   help="claim identity; must be unique per live worker "
+                        "(default: host-pid plus a random suffix)")
+    p.add_argument("--capacity", type=int, default=1,
+                   help="claim up to this many jobs per batch and run them on "
+                        "the configured backend")
+    p.add_argument("--heartbeat-every", type=float, default=None,
+                   help="seconds between claim heartbeats "
+                        "(default: stale-after / 4)")
     p.add_argument("--cache-max-entries", type=int, default=None,
                    help="LRU bound for the evaluation cache during this worker's jobs")
     add_service_options(p)
     p.set_defaults(fn=cmd_worker)
 
+    p = sub.add_parser("serve", help="serve a state directory to remote workers over HTTP")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: localhost only)")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--token", default="",
+                   help="shared auth token clients must present (default: $REPRO_TOKEN)")
+    p.add_argument("--state-dir", default="",
+                   help="state directory to serve (default: $REPRO_HOME or ~/.repro)")
+    p.set_defaults(fn=cmd_serve)
+
     p = sub.add_parser("status", help="show the service's job table")
     p.add_argument("--job", default="", help="show one job in detail")
-    p.add_argument("--state-dir", default="")
+    add_store_options(p)
     p.set_defaults(fn=cmd_status)
 
     p = sub.add_parser("resume", help="resume an interrupted job from its checkpoint")

@@ -54,3 +54,7 @@ class ServiceError(ReproError):
 
 class WorkerError(ServiceError):
     """A queue worker hit an invalid claim or job-state transition."""
+
+
+class StoreUnavailableError(ServiceError):
+    """A network job store could not be reached after retries."""

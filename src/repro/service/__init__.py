@@ -10,7 +10,10 @@ runs and processes (optionally LRU-bounded via ``max_entries``),
 submit`` / ``status`` / ``resume`` CLI, and :class:`Worker` claims
 queued jobs for detached execution (``repro submit --detach`` +
 ``repro worker``) — safe with any number of workers per state
-directory.
+directory.  :class:`JobStoreServer` serves a store over HTTP (``repro
+serve``) and :class:`RemoteJobStore` is the client with the identical
+:data:`STORE_PROTOCOL` surface (``--store-url``), extending the same
+claim/heartbeat contract across machines.
 """
 
 from repro.service.backends import (
@@ -28,9 +31,15 @@ from repro.service.checkpoint import (
     checkpoint_to_dict,
 )
 from repro.service.job import JobResult, ProtectionJob
+from repro.service.netstore import PROTOCOL_VERSION, JobStoreServer, RemoteJobStore
 from repro.service.runner import JobOutcome, JobRunner
-from repro.service.store import JobRecord, JobStore, default_state_dir
-from repro.service.worker import Worker
+from repro.service.store import (
+    STORE_PROTOCOL,
+    JobRecord,
+    JobStore,
+    default_state_dir,
+)
+from repro.service.worker import ClaimHeartbeat, Worker
 
 __all__ = [
     "ProtectionJob",
@@ -45,7 +54,12 @@ __all__ = [
     "checkpoint_from_dict",
     "JobStore",
     "JobRecord",
+    "JobStoreServer",
+    "RemoteJobStore",
+    "PROTOCOL_VERSION",
+    "STORE_PROTOCOL",
     "Worker",
+    "ClaimHeartbeat",
     "default_state_dir",
     "ExecutionBackend",
     "SerialBackend",

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import base64
 import json
-import os
 import zlib
 from pathlib import Path
 
@@ -30,6 +29,7 @@ from repro.core.individual import Individual
 from repro.data.dataset import CategoricalDataset
 from repro.exceptions import ServiceError
 from repro.service.cache import score_from_dict, score_to_dict
+from repro.service.store import _atomic_write_json
 
 FORMAT_VERSION = 1
 
@@ -141,12 +141,9 @@ class CheckpointManager:
         return self.path.exists()
 
     def save(self, checkpoint: EngineCheckpoint) -> None:
-        """Atomically persist ``checkpoint`` (temp file + rename)."""
+        """Atomically persist ``checkpoint`` (unique temp file + rename)."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        payload = checkpoint_to_dict(checkpoint, self.fingerprint)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
-        os.replace(tmp, self.path)
+        _atomic_write_json(self.path, checkpoint_to_dict(checkpoint, self.fingerprint))
         self.saves += 1
 
     def load(self, reference: CategoricalDataset) -> EngineCheckpoint:

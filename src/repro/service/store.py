@@ -18,14 +18,24 @@ coordinator: a worker owns ``job_id`` exactly while
 ``<root>/claims/<job_id>.claim`` exists and was created by it.  Creation
 uses ``O_CREAT | O_EXCL``, which is atomic on POSIX filesystems (and on
 NFS since v3), so two workers sharing one state directory can never both
-claim the same job.  A claim that outlives its worker (crash, kill -9)
-is recovered by :meth:`JobStore.recover_stale_claims`.
+claim the same job.  A live worker refreshes its claims' ``last_seen``
+field via :meth:`JobStore.heartbeat`; a claim whose worker has gone
+silent (crash, kill -9, network partition) is recovered by
+:meth:`JobStore.recover_stale_claims` once ``last_seen`` is older than
+the staleness bound.
+
+The method surface below — :data:`STORE_PROTOCOL` — is the store
+contract: any other implementation (the network-backed
+:class:`~repro.service.netstore.RemoteJobStore`) must expose exactly
+these operations with the same semantics, enforced by the parametrized
+conformance suite in ``tests/test_store_contract.py``.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -39,11 +49,56 @@ COMPLETED = "completed"
 FAILED = "failed"
 STATUSES = (QUEUED, RUNNING, COMPLETED, FAILED)
 
+#: The job-store contract: every store implementation (file-backed or
+#: networked) exposes exactly these operations, and the conformance
+#: suite asserts their shared semantics against each implementation.
+STORE_PROTOCOL = (
+    "submit",
+    "save",
+    "get",
+    "records",
+    "queued",
+    "mark_running",
+    "mark_completed",
+    "mark_failed",
+    "requeue",
+    "claim",
+    "release",
+    "heartbeat",
+    "claim_info",
+    "claims",
+    "claimed_job_ids",
+    "recover_stale_claims",
+)
+
 
 def default_state_dir() -> Path:
     """The service state directory: ``$REPRO_HOME`` or ``~/.repro``."""
     env = os.environ.get("REPRO_HOME", "")
     return Path(env) if env else Path.home() / ".repro"
+
+
+def _atomic_write_json(path: Path, payload: dict, indent: int | None = None) -> None:
+    """Write JSON via a uniquely-named temp file + atomic rename.
+
+    The temp name must be unique per writer: the network server saves
+    records from concurrent handler threads, and a shared ``.tmp`` path
+    would let two writers interleave into one file before the rename
+    installs it.  (Readers glob ``*.json``, which never matches the
+    ``.tmp`` suffix.)
+    """
+    fd, tmp = tempfile.mkstemp(prefix=path.name + ".", suffix=".tmp",
+                               dir=path.parent)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+        raise
 
 
 @dataclass
@@ -123,7 +178,7 @@ class JobStore:
 
     # -- record lifecycle ---------------------------------------------------
 
-    def submit(self, job: ProtectionJob) -> JobRecord:
+    def submit(self, job: ProtectionJob, extras: dict | None = None) -> JobRecord:
         """Register a job as queued (idempotent).
 
         Resubmission never clobbers live state: a ``completed`` record is
@@ -131,6 +186,11 @@ class JobStore:
         resetting a running job to queued would orphan the worker that
         owns it and lose ``started_at``.  Only a ``failed`` record is
         replaced by a fresh queued submission.
+
+        ``extras`` (e.g. the checkpoint cadence) ride in the initial
+        queued write itself: adding them with a second save would open a
+        window where a polling worker claims the record without them.
+        Resubmission keeps the existing record's extras.
         """
         existing = self.get(job.job_id, missing_ok=True)
         if existing is not None and existing.status != FAILED:
@@ -140,7 +200,8 @@ class JobStore:
             # leave a claim behind; drop it, or the fresh queued record
             # would be unclaimable until the claim ages out.
             self.release(job.job_id)
-        record = JobRecord(job=job, status=QUEUED, submitted_at=time.time())
+        record = JobRecord(job=job, status=QUEUED, submitted_at=time.time(),
+                           extras=dict(extras or {}))
         self.save(record)
         return record
 
@@ -149,9 +210,7 @@ class JobStore:
         if record.status not in STATUSES:
             raise ServiceError(f"unknown job status {record.status!r}")
         path = self.record_path(record.job_id)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(record.to_dict(), indent=2), encoding="utf-8")
-        os.replace(tmp, path)
+        _atomic_write_json(path, record.to_dict(), indent=2)
 
     def get(self, job_id: str, missing_ok: bool = False) -> JobRecord | None:
         """Load one record; raises :class:`ServiceError` unless ``missing_ok``."""
@@ -189,7 +248,21 @@ class JobStore:
         self.save(record)
 
     def mark_failed(self, record: JobRecord, error: str) -> None:
-        """Transition to ``failed`` with the error text and persist."""
+        """Transition to ``failed`` with the error text and persist.
+
+        Checked against the on-disk record first: a worker whose claim
+        was stale-recovered mid-run may report its failure after the
+        takeover worker already completed the job, and a finished result
+        must never be clobbered by a stale failure.  In that case the
+        caller's record is refreshed to the completed truth instead.
+        """
+        current = self.get(record.job_id, missing_ok=True)
+        if current is not None and current.status == COMPLETED:
+            record.status = current.status
+            record.finished_at = current.finished_at
+            record.result = current.result
+            record.error = current.error
+            return
         record.status = FAILED
         record.finished_at = time.time()
         record.error = error
@@ -225,12 +298,27 @@ class JobStore:
         Returns ``True`` when this call created the claim file (the
         caller now owns the job), ``False`` when another worker already
         holds it.  ``O_CREAT | O_EXCL`` makes the create-or-fail decision
-        a single atomic filesystem operation.
+        a single atomic filesystem operation.  The claim starts with
+        ``last_seen == claimed_at``; the owner keeps it alive with
+        :meth:`heartbeat`.
+
+        For a named ``owner`` the claim is idempotent: re-claiming a job
+        that owner already holds returns ``True``.  Worker identities
+        are unique (host-pid by default), so this can only say "yes, you
+        still own it" — it exists for retried network claims, where the
+        first attempt's response was lost after the claim file landed.
+        Anonymous claims (empty owner) stay strictly exclusive.
         """
-        payload = {"owner": owner, "pid": os.getpid(), "claimed_at": time.time()}
+        now = time.time()
+        payload = {"owner": owner, "pid": os.getpid(), "claimed_at": now,
+                   "last_seen": now}
         try:
             fd = os.open(self.claim_path(job_id), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
+            if owner:
+                info = self.claim_info(job_id)
+                if info is not None and info.get("owner") == owner:
+                    return True
             return False
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
@@ -239,23 +327,68 @@ class JobStore:
     def release(self, job_id: str, owner: str | None = None) -> bool:
         """Drop ``job_id``'s claim (no-op when none exists).
 
-        With ``owner`` given, the claim is only dropped when that owner
-        holds it — a worker releasing in its ``finally`` must not unlink
-        a claim that was recovered from it and re-granted to someone
-        else in the meantime.  Without ``owner`` the release is
-        unconditional (the recovery/requeue paths).  Returns whether a
-        claim was removed.
+        With ``owner`` given, the claim is only dropped on an exact,
+        readable owner match — a worker releasing in its ``finally``
+        must not unlink a claim that was recovered from it and
+        re-granted to someone else in the meantime, and a claim whose
+        owner cannot be read right now (torn mid-heartbeat by its true
+        holder) is left alone rather than guessed at.  The check and the
+        unlink are two filesystem operations, so an adversarial
+        interleaving (release + re-claim between them) can still slip
+        through; heartbeat-based recovery is the backstop for that
+        window.  Without ``owner`` the release is unconditional (the
+        recovery/requeue paths).  Returns whether a claim was removed.
         """
         if owner is not None:
             info = self.claim_info(job_id)
             if info is None:
                 return False
-            if info.get("owner", "") not in ("", owner):
+            if info.get("owner") != owner:
                 return False
         try:
             self.claim_path(job_id).unlink()
         except FileNotFoundError:
             return False
+        return True
+
+    def heartbeat(self, job_id: str, owner: str = "") -> bool:
+        """Refresh ``job_id``'s claim liveness for ``owner``.
+
+        Updates the claim's ``last_seen`` timestamp so
+        :meth:`recover_stale_claims` knows the owning worker is still
+        alive — a long job only has to beat more often than the
+        staleness bound, however long it runs.  With ``owner`` given the
+        beat only lands when that owner holds the claim.  Returns
+        whether the claim was refreshed; ``False`` means the claim is
+        gone (or owned by someone else) and the caller should assume it
+        lost the job.
+
+        The read and the rewrite go through one file descriptor, opened
+        without ``O_CREAT``: a beat racing a release must not resurrect
+        the claim file it lost, and a beat racing a release *plus a
+        re-claim by another worker* must not overwrite the new owner's
+        claim — the re-claim is a fresh inode, so a straggler's write
+        lands on the old, already-unlinked one and changes nothing
+        anybody can see.
+        """
+        try:
+            fd = os.open(self.claim_path(job_id), os.O_RDWR)
+        except FileNotFoundError:
+            return False
+        with os.fdopen(fd, "r+", encoding="utf-8") as handle:
+            try:
+                info = json.load(handle)
+            except json.JSONDecodeError:
+                # Mid-write by the true owner; their beat already counts.
+                return False
+            if not isinstance(info, dict):
+                return False
+            if owner and info.get("owner", "") not in ("", owner):
+                return False
+            info["last_seen"] = time.time()
+            handle.seek(0)
+            handle.truncate()
+            json.dump(info, handle)
         return True
 
     def claim_info(self, job_id: str) -> dict | None:
@@ -274,15 +407,42 @@ class JobStore:
         """Every job id currently claimed by some worker."""
         return sorted(path.stem for path in self.claims_dir.glob("*.claim"))
 
+    def claims(self) -> dict[str, dict]:
+        """Every live claim's payload keyed by job id, in one bulk read.
+
+        What monitoring wants (``repro status`` shows each claim's owner
+        and heartbeat age): one operation — and, for the network store,
+        one round trip — instead of a ``claim_info`` per claimed job.
+        A claim released between the listing and its read is skipped.
+
+        Each payload gains an ``age_seconds`` field — seconds since the
+        claim's last heartbeat, computed against *this store's* clock.
+        Remote monitors must prefer it over doing their own arithmetic
+        on ``last_seen``: their clock and the workers' need not agree.
+        """
+        now = time.time()
+        payloads = {}
+        for job_id in self.claimed_job_ids():
+            info = self.claim_info(job_id)
+            if info is None:
+                continue
+            last_seen = float(info.get("last_seen") or info.get("claimed_at") or 0.0)
+            if last_seen:
+                info["age_seconds"] = max(0.0, now - last_seen)
+            payloads[job_id] = info
+        return payloads
+
     def recover_stale_claims(self, max_age_seconds: float = 3600.0) -> list[str]:
         """Release claims whose worker is evidently gone.
 
         Two cases are recovered: a claim for a job that already finished
         (``completed``/``failed`` — the worker crashed between marking
-        and releasing) is simply dropped, and a claim older than
-        ``max_age_seconds`` on an unfinished job is dropped *and* the
-        record is requeued so another worker can take over.  Returns the
-        recovered job ids.
+        and releasing) is simply dropped, and a claim whose worker has
+        not heartbeated for ``max_age_seconds`` (by ``last_seen``,
+        falling back to ``claimed_at`` and finally the claim file's
+        mtime for claims written by pre-heartbeat workers) on an
+        unfinished job is dropped *and* the record is requeued so
+        another worker can take over.  Returns the recovered job ids.
         """
         recovered = []
         now = time.time()
@@ -293,13 +453,13 @@ class JobStore:
                 recovered.append(job_id)
                 continue
             info = self.claim_info(job_id) or {}
-            claimed_at = float(info.get("claimed_at") or 0.0)
-            if not claimed_at:
+            last_seen = float(info.get("last_seen") or info.get("claimed_at") or 0.0)
+            if not last_seen:
                 try:
-                    claimed_at = self.claim_path(job_id).stat().st_mtime
+                    last_seen = self.claim_path(job_id).stat().st_mtime
                 except FileNotFoundError:
                     continue
-            if now - claimed_at > max_age_seconds:
+            if now - last_seen > max_age_seconds:
                 # Re-read just before acting: the job may have finished
                 # between the listing above and now, and a finished
                 # record only needs its claim dropped, never a requeue.
@@ -307,8 +467,35 @@ class JobStore:
                 if current is None or current.status in (COMPLETED, FAILED):
                     self.release(job_id)
                 else:
-                    self.requeue(current)
+                    try:
+                        self.requeue(current)
+                    except WorkerError:
+                        # Completed in the window since the re-read;
+                        # requeue protected the result, drop the claim.
+                        self.release(job_id)
                 recovered.append(job_id)
+        # A record can also strand in `running` with *no* claim — the
+        # worker died between releasing and marking, or its final mark
+        # failed after the claims were already dropped.  The claim scan
+        # above can't see those (there is no claim), and they are in no
+        # queue, so requeue them here.  Running-with-no-claim is never a
+        # legitimate state: marks happen strictly inside the claim.
+        for record in self.records():
+            if record.status != RUNNING or record.job_id in recovered:
+                continue
+            # Re-read right before acting, and re-check the claim: a
+            # worker may have claimed or finished it since the listing.
+            current = self.get(record.job_id, missing_ok=True)
+            if (
+                current is not None
+                and current.status == RUNNING
+                and self.claim_info(record.job_id) is None
+            ):
+                try:
+                    self.requeue(current)
+                except WorkerError:
+                    continue  # finished in the window; nothing to recover
+                recovered.append(record.job_id)
         return recovered
 
     def __repr__(self) -> str:

@@ -2,28 +2,34 @@
 
 This is the execution half of the detached submission flow.  ``repro
 submit --detach`` only *writes* ``queued`` records; a :class:`Worker`
-(the ``repro worker`` command, or any number of them on machines that
-share the state directory) later claims each record via the store's
-atomic ``O_CREAT | O_EXCL`` claim files, runs it through the existing
+(the ``repro worker`` command — any number of them, on a shared state
+directory or against a :class:`~repro.service.netstore.RemoteJobStore`
+over HTTP) later claims each record via the store's atomic claim
+protocol, runs it through the existing
 :class:`~repro.service.runner.JobRunner`, and marks it ``completed`` or
 ``failed``.  Because a claim either exists or does not — there is no
-in-between state the filesystem can expose — two workers draining one
-queue never execute the same job, which is the invariant cross-machine
+in-between state the store can expose — two workers draining one queue
+never execute the same job, which is the invariant cross-machine
 distribution builds on.
 
 The claim protocol, spelled out:
 
 1. list queued records, oldest first;
 2. for each, try ``store.claim(job_id)`` — losing the race simply means
-   another worker owns that job, move on;
+   another worker owns that job, move on — until up to ``capacity``
+   claims are won;
 3. after winning, *re-read the record*: a job that finished between the
    listing and the claim is skipped, not re-run;
-4. run, mark, and release the claim in a ``finally`` block.
+4. heartbeat every claim from a background thread while the jobs run,
+   so the store knows this worker is still alive however long they take;
+5. run, mark, and release the claims in a ``finally`` block.
 
-A worker that dies between claiming and releasing leaves a stale claim;
+A worker that dies between claiming and releasing leaves a claim whose
+heartbeats have stopped;
 :meth:`~repro.service.store.JobStore.recover_stale_claims` (run at every
-worker start and poll) requeues such jobs once the claim outlives
-``stale_after`` seconds.
+worker start and poll) requeues such jobs once the claim's ``last_seen``
+outlives ``stale_after`` seconds.  An *actively heartbeating* claim is
+never recovered, no matter how long its job runs.
 """
 
 from __future__ import annotations
@@ -31,7 +37,9 @@ from __future__ import annotations
 import json
 import os
 import socket
+import threading
 import time
+import uuid
 
 from repro.exceptions import WorkerError
 from repro.service.backends import create_backend
@@ -40,30 +48,158 @@ from repro.service.runner import JobOutcome, JobRunner
 from repro.service.store import QUEUED, JobRecord, JobStore
 
 
+def unique_owner(prefix: str = "") -> str:
+    """A claim-owner identity that is unique per caller, not just per host.
+
+    ``claim()`` treats a same-owner re-claim as "you already own it", so
+    owner identities must never collide: host-pid alone is shared by two
+    workers in one process and can be recycled onto a crashed worker's
+    pid.  The random suffix rules both out.
+    """
+    label = f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    return f"{prefix}-{label}" if prefix else label
+
+
+class ClaimHeartbeat:
+    """Background thread keeping a set of claims alive while jobs run.
+
+    Beats once immediately on :meth:`start` (so even a job faster than
+    the interval records liveness) and then every ``interval`` seconds
+    until :meth:`stop`.  A beat that fails — store briefly unreachable,
+    claim recovered from under us — is swallowed: liveness is advisory,
+    and the run loop's owner-checked marks and releases are what protect
+    correctness.
+    """
+
+    def __init__(self, store: JobStore, job_ids: list[str], owner: str,
+                 interval: float) -> None:
+        self.store = store
+        self.job_ids = list(job_ids)
+        self.owner = owner
+        self.interval = float(interval)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="claim-heartbeat", daemon=True
+        )
+
+    def _run(self) -> None:
+        while True:
+            for job_id in self.job_ids:
+                try:
+                    self.store.heartbeat(job_id, self.owner)
+                except Exception:  # noqa: BLE001 - any dead beat < dead thread
+                    pass  # a missed beat just lets last_seen age one tick
+            if self._stop.wait(self.interval):
+                return
+
+    def start(self) -> "ClaimHeartbeat":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def claim_queued(
+    store: JobStore,
+    candidates: list[JobRecord],
+    owner: str,
+    limit: int = 0,
+    on_skipped=None,
+) -> list[JobRecord]:
+    """Win claims over still-queued ``candidates`` for ``owner``.
+
+    The one implementation of the claim-validate step every executor
+    shares (workers, inline ``repro submit``/``resume``): try to claim
+    each record (losing just means someone else owns it), then *re-read*
+    inside the claim — a record that stopped being queued in the
+    meantime is released again, not run.  Stops after ``limit`` wins
+    when positive.  On any error, every claim already held is released
+    (best-effort) before the error propagates, so a transient store
+    failure cannot strand claimed-but-unrun jobs until stale recovery.
+
+    ``on_skipped(record, reason)`` is called for records passed over,
+    with reason ``"claimed"`` (someone else holds it) or ``"not-queued"``
+    (it left the queue before our claim landed).
+    """
+    mine: list[JobRecord] = []
+    held: list[str] = []
+    try:
+        for record in candidates:
+            if limit and len(mine) >= limit:
+                break
+            if not store.claim(record.job_id, owner=owner):
+                if on_skipped is not None:
+                    on_skipped(record, "claimed")
+                continue
+            held.append(record.job_id)
+            current = store.get(record.job_id, missing_ok=True)
+            if current is None or current.status != QUEUED:
+                store.release(record.job_id, owner=owner)
+                held.pop()
+                if on_skipped is not None:
+                    on_skipped(record, "not-queued")
+                continue
+            mine.append(current)
+    except BaseException:
+        release_quietly(store, held, owner)
+        raise
+    return mine
+
+
+def release_quietly(store: JobStore, job_ids: list[str], owner: str) -> None:
+    """Release each claim, best-effort.
+
+    Cleanup paths must release *every* claim they can: one failed
+    release (store briefly unreachable) aborting the rest would leak
+    sibling claims and crash callers whose jobs all succeeded.  A claim
+    that could not be released ages out via stale recovery.
+    """
+    for job_id in job_ids:
+        try:
+            store.release(job_id, owner=owner)
+        except Exception:  # noqa: BLE001 - stale recovery is the backstop
+            pass
+
+
 class Worker:
-    """Claims and executes queued jobs from a :class:`JobStore`.
+    """Claims and executes queued jobs from a job store.
 
     Parameters
     ----------
     store:
-        The shared state directory; multiple workers may point at one.
+        Any :data:`~repro.service.store.STORE_PROTOCOL` implementation —
+        a shared-directory :class:`~repro.service.store.JobStore` or a
+        :class:`~repro.service.netstore.RemoteJobStore`; multiple
+        workers may point at one.
     backend / max_workers:
-        Execution backend for the runner each claimed job goes through.
-        The default (``serial``) is right for fleets: parallelism comes
-        from running more workers, not from fanning out inside one.
+        Execution backend for the runner each claimed batch goes
+        through.  With the default (``serial``) parallelism comes from
+        running more workers; with ``capacity`` above 1, pick ``thread``
+        or ``process`` so a batch actually runs concurrently.
     use_cache:
-        Thread the store's persistent evaluation cache through each job.
+        Thread the store's persistent evaluation cache through each job
+        (worker-local when the store is remote).
     cache_max_entries:
         LRU bound for worker-opened cache handles (``None`` = unbounded).
     worker_id:
-        Identity recorded in claim files; defaults to ``host-pid``.
+        Identity recorded in claim files; defaults to
+        :func:`unique_owner` (host-pid plus a random suffix, so two
+        workers never share one identity).  If you set it yourself,
+        keep it unique per live worker — claims are idempotent per
+        owner.
     stale_after:
-        Claims older than this many seconds are treated as abandoned and
-        their jobs requeued (must be positive).  Set it comfortably
-        above your longest job's wall time: claims are not refreshed
-        mid-run, so a job still legitimately running past ``stale_after``
-        would be requeued and double-executed (worker heartbeats are a
-        ROADMAP item).
+        Claims whose last heartbeat is older than this many seconds are
+        treated as abandoned and their jobs requeued (must be positive).
+        Heartbeats decouple this from job length: a long job stays safe
+        as long as its worker keeps beating.
+    capacity:
+        How many jobs this worker claims per batch (its share of the
+        queue); each batch is executed on the configured backend.
+    heartbeat_every:
+        Seconds between claim heartbeats; defaults to ``stale_after / 4``
+        so a single missed beat never looks like a death.
     """
 
     def __init__(
@@ -75,9 +211,17 @@ class Worker:
         cache_max_entries: int | None = None,
         worker_id: str = "",
         stale_after: float = 3600.0,
+        capacity: int = 1,
+        heartbeat_every: float | None = None,
     ) -> None:
         if stale_after <= 0:
             raise WorkerError(f"stale_after must be positive, got {stale_after}")
+        if capacity < 1:
+            raise WorkerError(f"capacity must be >= 1, got {capacity}")
+        if heartbeat_every is not None and heartbeat_every <= 0:
+            raise WorkerError(
+                f"heartbeat_every must be positive, got {heartbeat_every}"
+            )
         # Fail fast on bad runner configuration: discovering it only
         # after claiming and marking a job running would strand records.
         create_backend(backend, max_workers)
@@ -90,8 +234,20 @@ class Worker:
         self.max_workers = max_workers
         self.use_cache = use_cache
         self.cache_max_entries = cache_max_entries
-        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.worker_id = worker_id or unique_owner()
         self.stale_after = float(stale_after)
+        self.capacity = int(capacity)
+        self.heartbeat_every = (
+            float(heartbeat_every) if heartbeat_every is not None
+            else self.stale_after / 4.0
+        )
+        if self.heartbeat_every >= self.stale_after:
+            # Beating slower than the staleness bound means this
+            # worker's live jobs look abandoned and get double-executed.
+            raise WorkerError(
+                f"heartbeat_every ({self.heartbeat_every}) must be smaller "
+                f"than stale_after ({self.stale_after})"
+            )
 
     def _runner_for(self, record: JobRecord) -> JobRunner:
         """A runner honouring the record's submit-time checkpoint cadence."""
@@ -116,40 +272,71 @@ class Worker:
             and payload.get("fingerprint") == record.job.fingerprint()
         )
 
+    def _claim_batch(
+        self, limit: int, candidates: list[JobRecord] | None = None
+    ) -> list[JobRecord]:
+        """Win up to ``limit`` claims over still-queued records."""
+        pool = candidates if candidates is not None else self.store.queued()
+        return claim_queued(self.store, pool, self.worker_id, limit=limit)
+
+    def _run_claimed(self, records: list[JobRecord]) -> list[JobOutcome]:
+        """Execute records this worker owns; marks, heartbeats, releases.
+
+        Records are grouped by checkpoint cadence and resumability so
+        each group shares one runner call over the configured backend;
+        a job left behind by an interrupted worker continues from its
+        (fingerprint-validated) checkpoint instead of restarting.  All
+        claims beat from one background thread for the whole batch and
+        are released in the ``finally``, whatever happens mid-run.
+        """
+        beat = ClaimHeartbeat(
+            self.store, [r.job_id for r in records], self.worker_id,
+            self.heartbeat_every,
+        ).start()
+        outcomes: dict[str, JobOutcome] = {}
+        try:
+            groups: dict[tuple[int, bool], list[JobRecord]] = {}
+            for record in records:
+                key = (int(record.extras.get("checkpoint_every", 0)),
+                       self._resumable(record))
+                groups.setdefault(key, []).append(record)
+            for (_, resume), group in groups.items():
+                # Build the runner before mark_running: a construction
+                # error must leave these records queued, not stranded.
+                runner = self._runner_for(group[0])
+                for record in group:
+                    self.store.mark_running(record)
+                settled = runner.run_settled(
+                    [record.job for record in group], resume=resume
+                )
+                for record, outcome in zip(group, settled):
+                    if outcome.ok:
+                        self.store.mark_completed(record, outcome.result)
+                    else:
+                        self.store.mark_failed(record, outcome.error)
+                    outcomes[record.job_id] = outcome
+        finally:
+            beat.stop()
+            release_quietly(self.store, [r.job_id for r in records],
+                            self.worker_id)
+        return [outcomes[r.job_id] for r in records if r.job_id in outcomes]
+
     def process(self, record: JobRecord) -> JobOutcome | None:
         """Claim and execute one record; ``None`` when it isn't ours to run.
 
         Returns the settled :class:`JobOutcome` (the record is marked
         ``completed`` or ``failed`` accordingly) when this worker won the
         claim, ``None`` when another worker holds the job or the record
-        stopped being queued before the claim landed.  A job left behind
-        by an interrupted worker continues from its checkpoint instead
-        of restarting: checkpoints are fingerprint-validated, so only a
-        checkpoint of this exact job is ever resumed.
+        stopped being queued before the claim landed.
         """
-        if not self.store.claim(record.job_id, owner=self.worker_id):
+        mine = self._claim_batch(1, candidates=[record])
+        if not mine:
             return None
-        try:
-            current = self.store.get(record.job_id, missing_ok=True)
-            if current is None or current.status != QUEUED:
-                return None
-            # Build the runner before mark_running: a construction error
-            # must leave the record queued, not stranded in running.
-            runner = self._runner_for(current)
-            self.store.mark_running(current)
-            (outcome,) = runner.run_settled(
-                [current.job], resume=self._resumable(current)
-            )
-            if outcome.ok:
-                self.store.mark_completed(current, outcome.result)
-            else:
-                self.store.mark_failed(current, outcome.error)
-            return outcome
-        finally:
-            self.store.release(record.job_id, owner=self.worker_id)
+        (outcome,) = self._run_claimed(mine)
+        return outcome
 
     def run_once(self, max_jobs: int = 0) -> list[JobOutcome]:
-        """Drain the queue: claim and run jobs until none are claimable.
+        """Drain the queue: claim and run batches until none are claimable.
 
         Jobs claimed by other workers are left alone; the loop exits
         when a full pass over the queue wins no claim, or — with
@@ -160,16 +347,15 @@ class Worker:
         self.store.recover_stale_claims(self.stale_after)
         outcomes: list[JobOutcome] = []
         while True:
-            progressed = False
-            for record in self.store.queued():
-                if max_jobs and len(outcomes) >= max_jobs:
+            limit = self.capacity
+            if max_jobs:
+                limit = min(limit, max_jobs - len(outcomes))
+                if limit <= 0:
                     return outcomes
-                outcome = self.process(record)
-                if outcome is not None:
-                    outcomes.append(outcome)
-                    progressed = True
-            if not progressed or (max_jobs and len(outcomes) >= max_jobs):
+            batch = self._claim_batch(limit)
+            if not batch:
                 return outcomes
+            outcomes.extend(self._run_claimed(batch))
 
     def run(
         self,

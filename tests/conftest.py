@@ -1,12 +1,66 @@
-"""Shared fixtures: small hand-built datasets and paper datasets."""
+"""Shared fixtures: datasets, plus the two-backend job-store harness."""
 
 from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
 
 import numpy as np
 import pytest
 
 from repro.data import CategoricalDataset, CategoricalDomain, DatasetSchema
 from repro.datasets import load_adult, load_flare
+from repro.service import JobStore
+
+
+@dataclass
+class StoreHarness:
+    """One store under test plus the on-disk store its state lands in.
+
+    ``store`` is what the test exercises (the file store itself, or a
+    ``RemoteJobStore`` speaking to a live in-process server over HTTP);
+    ``backing`` is always the underlying :class:`JobStore`, so tests can
+    simulate conditions no healthy client would produce — like a claim
+    whose worker died ``seconds`` ago.
+    """
+
+    store: object
+    backing: JobStore
+
+    def age_claim(self, job_id: str, seconds: float) -> None:
+        """Backdate a claim as if its worker went silent ``seconds`` ago."""
+        path = self.backing.claim_path(job_id)
+        info = json.loads(path.read_text(encoding="utf-8"))
+        info["claimed_at"] = time.time() - seconds
+        info["last_seen"] = time.time() - seconds
+        path.write_text(json.dumps(info), encoding="utf-8")
+
+
+@pytest.fixture(params=["file", "remote"])
+def store_harness(request, tmp_path) -> StoreHarness:
+    """The store contract fixture: every test using it runs twice, once
+    against the file-backed ``JobStore`` and once against a
+    ``RemoteJobStore`` over a live ``JobStoreServer``."""
+    backing = JobStore(tmp_path / "state")
+    if request.param == "file":
+        yield StoreHarness(store=backing, backing=backing)
+        return
+    from repro.service import JobStoreServer, RemoteJobStore
+
+    server = JobStoreServer(backing, token="contract-token")
+    server.start()
+    try:
+        client = RemoteJobStore(
+            server.url,
+            token="contract-token",
+            spool=tmp_path / "spool",
+            retries=1,
+            backoff=0.05,
+        )
+        yield StoreHarness(store=client, backing=backing)
+    finally:
+        server.stop()
 
 
 @pytest.fixture(scope="session")

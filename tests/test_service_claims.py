@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 
 from repro.service import JobStore, ProtectionJob, Worker
 
@@ -57,6 +59,56 @@ class TestClaimProtocol:
         for thread in threads:
             thread.join()
         assert len(winners) == 1
+
+
+class TestRandomizedClaimRace:
+    """Seeded fuzz of the claim race, against both store backends.
+
+    N threads contend for one queue of claims, each visiting the jobs in
+    its own RNG-derived order with RNG-derived pauses — a different
+    interleaving per seed, reproducible for any given seed.  Whatever
+    the interleaving, the invariant is total partition: every job
+    claimed exactly once, none lost, none double-claimed.
+    """
+
+    SEED = 0xC1A17
+
+    def test_threads_partition_queue_without_double_claims(self, store_harness):
+        store = store_harness.store
+        rng = random.Random(self.SEED)
+        job_ids = [f"job-{i:02d}" for i in range(24)]
+        n_threads = 6
+        orders = [rng.sample(job_ids, len(job_ids)) for _ in range(n_threads)]
+        pauses = [[rng.uniform(0, 0.002) for _ in job_ids] for _ in range(n_threads)]
+        wins: list[list[str]] = [[] for _ in range(n_threads)]
+        errors: list[Exception] = []
+        barrier = threading.Barrier(n_threads)
+
+        def contend(slot: int) -> None:
+            barrier.wait()
+            try:
+                for job_id, pause in zip(orders[slot], pauses[slot]):
+                    if store.claim(job_id, owner=f"w{slot}"):
+                        wins[slot].append(job_id)
+                    time.sleep(pause)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=contend, args=(i,)) for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        all_wins = [job_id for slot in wins for job_id in slot]
+        # No double-claims, and no lost jobs: an exact partition.
+        assert len(all_wins) == len(set(all_wins))
+        assert sorted(all_wins) == sorted(job_ids)
+        # Each claim on disk names the thread that won it.
+        for slot, won in enumerate(wins):
+            for job_id in won:
+                assert store_harness.backing.claim_info(job_id)["owner"] == f"w{slot}"
 
 
 class TestConcurrentWorkers:

@@ -8,7 +8,7 @@ import time
 import pytest
 
 from repro.exceptions import WorkerError
-from repro.service import JobStore, ProtectionJob, Worker
+from repro.service import ClaimHeartbeat, JobStore, ProtectionJob, Worker
 
 
 def _job(seed: int = 1, generations: int = 1) -> ProtectionJob:
@@ -145,18 +145,151 @@ class TestRequeue:
         assert store.get(record.job_id).status == "completed"
 
 
-class TestStaleClaimRecovery:
-    def _age_claim(self, store, job_id, seconds):
-        path = store.claim_path(job_id)
-        info = json.loads(path.read_text(encoding="utf-8"))
-        info["claimed_at"] = time.time() - seconds
-        path.write_text(json.dumps(info), encoding="utf-8")
+def _age_claim(store, job_id, seconds):
+    # A worker dead for `seconds` left both timestamps behind.
+    path = store.claim_path(job_id)
+    info = json.loads(path.read_text(encoding="utf-8"))
+    info["claimed_at"] = time.time() - seconds
+    info["last_seen"] = time.time() - seconds
+    path.write_text(json.dumps(info), encoding="utf-8")
 
+
+class TestHeartbeats:
+    def test_default_interval_is_quarter_of_stale_after(self, store):
+        assert Worker(store, stale_after=100).heartbeat_every == 25.0
+        assert Worker(store, stale_after=100, heartbeat_every=3).heartbeat_every == 3.0
+
+    def test_default_worker_ids_unique_per_instance(self, store):
+        # Same-owner re-claims are idempotent, so two workers — even in
+        # one process, even across pid reuse — must never share an id.
+        assert Worker(store).worker_id != Worker(store).worker_id
+
+    def test_bad_capacity_and_interval_rejected(self, store):
+        with pytest.raises(WorkerError, match="capacity"):
+            Worker(store, capacity=0)
+        with pytest.raises(WorkerError, match="heartbeat_every"):
+            Worker(store, heartbeat_every=0)
+        # Beating no faster than the staleness bound would let live jobs
+        # look abandoned and get double-executed.
+        with pytest.raises(WorkerError, match="smaller than stale_after"):
+            Worker(store, stale_after=10, heartbeat_every=10)
+
+    def test_claim_heartbeat_beats_immediately_on_start(self, store):
+        # The first beat lands at start, not one interval later, so even
+        # a job faster than the interval records liveness at least once.
+        store.claim("j1", owner="w")
+        _age_claim(store, "j1", seconds=500)
+        aged = store.claim_info("j1")["last_seen"]
+        beat = ClaimHeartbeat(store, ["j1"], "w", interval=3600.0).start()
+        try:
+            deadline = time.time() + 5.0
+            # .get(): a poll can read the claim mid-rewrite and see {}.
+            while store.claim_info("j1").get("last_seen", aged) == aged:
+                assert time.time() < deadline, "no heartbeat landed"
+                time.sleep(0.01)
+        finally:
+            beat.stop()
+        assert store.claim_info("j1")["last_seen"] > aged
+
+    def test_heartbeatless_claim_recovered_while_beating_one_kept(self, store):
+        # Regression for the crash-between-claim-and-update hole: with
+        # claimed_at as the only signal, a long job and a dead worker
+        # looked identical.  Heartbeats split them: the silent claim is
+        # recovered after stale_after, the actively beating one is not.
+        dead = store.submit(_job(1))
+        alive = store.submit(_job(2))
+        for record, owner in ((dead, "crashed"), (alive, "long-runner")):
+            store.claim(record.job_id, owner=owner)
+            store.mark_running(record)
+            _age_claim(store, record.job_id, seconds=7200)
+        assert store.heartbeat(alive.job_id, owner="long-runner") is True
+
+        recovered = store.recover_stale_claims(max_age_seconds=3600)
+
+        assert recovered == [dead.job_id]
+        assert store.get(dead.job_id).status == "queued"
+        assert store.get(alive.job_id).status == "running"
+        assert store.claimed_job_ids() == [alive.job_id]
+
+    def test_worker_heartbeats_its_claims_while_running(self, tmp_path):
+        beats = []
+
+        class RecordingStore(JobStore):
+            def heartbeat(self, job_id, owner=""):
+                beats.append((job_id, owner))
+                return super().heartbeat(job_id, owner)
+
+        store = RecordingStore(tmp_path)
+        record = store.submit(_job(1))
+        worker = Worker(store, worker_id="beater", use_cache=False)
+        (outcome,) = worker.run_once()
+        assert outcome.ok
+        assert (record.job_id, "beater") in beats
+
+
+class TestClaimBatchSafety:
+    def test_store_failure_mid_batch_releases_every_held_claim(self, tmp_path):
+        # Regression: a transient store failure between claiming job A
+        # and validating job B used to leak A's claim, stranding A
+        # queued-but-claimed until stale recovery.
+        from repro.exceptions import ServiceError
+        from repro.service.worker import claim_queued
+
+        class FlakyStore(JobStore):
+            fail_after = None
+
+            def get(self, job_id, missing_ok=False):
+                if self.fail_after is not None:
+                    if self.fail_after == 0:
+                        raise ServiceError("store went away")
+                    self.fail_after -= 1
+                return super().get(job_id, missing_ok)
+
+        store = FlakyStore(tmp_path)
+        for seed in (1, 2):
+            store.submit(_job(seed))
+        store.fail_after = 1  # first post-claim re-read works, second fails
+        with pytest.raises(ServiceError, match="went away"):
+            claim_queued(store, store.queued(), "w")
+        assert store.claimed_job_ids() == []
+
+
+class TestCapacity:
+    def test_capacity_batches_claims(self, store):
+        for seed in (1, 2, 3):
+            store.submit(_job(seed))
+        worker = Worker(store, capacity=2, use_cache=False)
+        batch = worker._claim_batch(worker.capacity)
+        assert len(batch) == 2
+        assert sorted(store.claimed_job_ids()) == sorted(r.job_id for r in batch)
+        for record in batch:
+            store.release(record.job_id, owner=worker.worker_id)
+
+    def test_capacity_worker_drains_whole_queue(self, store):
+        jobs = [store.submit(_job(seed)) for seed in (1, 2, 3)]
+        worker = Worker(store, capacity=2, backend="thread", max_workers=2)
+        outcomes = worker.run_once()
+        assert sorted(out.job_id for out in outcomes) == sorted(r.job_id for r in jobs)
+        assert all(out.ok for out in outcomes)
+        for record in jobs:
+            assert store.get(record.job_id).status == "completed"
+        assert store.claimed_job_ids() == []
+
+    def test_capacity_respects_max_jobs(self, store):
+        for seed in (1, 2, 3):
+            store.submit(_job(seed))
+        outcomes = Worker(store, capacity=3).run_once(max_jobs=2)
+        assert len(outcomes) == 2
+        statuses = sorted(r.status for r in store.records())
+        assert statuses == ["completed", "completed", "queued"]
+
+
+class TestStaleClaimRecovery:
     def test_old_claim_on_running_job_requeues(self, store):
         record = store.submit(_job(1))
         store.claim(record.job_id, owner="crashed-worker")
         store.mark_running(record)
-        self._age_claim(store, record.job_id, seconds=7200)
+        _age_claim(store, record.job_id, seconds=7200)
         recovered = store.recover_stale_claims(max_age_seconds=3600)
         assert recovered == [record.job_id]
         assert store.get(record.job_id).status == "queued"
@@ -182,7 +315,7 @@ class TestStaleClaimRecovery:
         record = store.submit(_job(1))
         store.claim(record.job_id, owner="crashed-worker")
         store.mark_running(record)
-        self._age_claim(store, record.job_id, seconds=7200)
+        _age_claim(store, record.job_id, seconds=7200)
         worker = Worker(store, stale_after=3600)
         (outcome,) = worker.run_once()
         assert outcome.ok and outcome.job_id == record.job_id
