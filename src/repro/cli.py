@@ -219,17 +219,19 @@ def _store_token(args: argparse.Namespace) -> str:
     return getattr(args, "token", "") or os.environ.get("REPRO_TOKEN", "")
 
 
+def _store_spec(args: argparse.Namespace) -> str:
+    """The job-store spec this invocation selected (may be empty)."""
+    return getattr(args, "store", "") or getattr(args, "store_url", "")
+
+
 def _job_store(args: argparse.Namespace):
-    store_url = getattr(args, "store_url", "")
-    if store_url:
-        from repro.service.netstore import RemoteJobStore
+    from repro.service.store import store_from_spec
 
-        return RemoteJobStore(
-            store_url, token=_store_token(args), spool=args.state_dir or None
-        )
-    from repro.service.store import JobStore
-
-    return JobStore(args.state_dir) if args.state_dir else JobStore()
+    return store_from_spec(
+        _store_spec(args),
+        token=_store_token(args),
+        state_dir=getattr(args, "state_dir", "") or None,
+    )
 
 
 def _parse_seeds(args: argparse.Namespace) -> list[int]:
@@ -294,9 +296,11 @@ def cmd_submit(args: argparse.Namespace) -> int:
         rows = [_result_row(store.get(record.job_id)) for record in records]
         print(format_table(_STATUS_HEADER, rows,
                            title=f"queued {len(pending)} job(s) (detached)"))
-        print(f"store: {_store_label(store)}" if args.store_url
+        print(f"store: {_store_label(store)}" if _store_spec(args)
               else f"state dir: {store.root}")
-        if args.store_url:
+        if args.store:
+            hint = f" --store {args.store}"
+        elif args.store_url:
             hint = f" --store-url {args.store_url}" + (" --token <token>" if _store_token(args) else "")
         else:
             hint = f" --state-dir {store.root}" if args.state_dir else ""
@@ -350,14 +354,20 @@ def cmd_submit(args: argparse.Namespace) -> int:
             release_quietly(store, [r.job_id for r in mine], owner)
     rows = [_result_row(store.get(record.job_id)) for record in records]
     print(format_table(_STATUS_HEADER, rows, title=f"submitted via {args.backend} backend"))
-    print(f"store: {_store_label(store)}" if args.store_url
+    print(f"store: {_store_label(store)}" if _store_spec(args)
           else f"state dir: {store.root}")
     return 1 if failures else 0
 
 
 def _store_label(store) -> object:
-    """How to name a store to the operator: its server URL, or its root."""
-    return getattr(store, "base_url", None) or store.root
+    """How to name a store to the operator: URL, sqlite spec, or root."""
+    base_url = getattr(store, "base_url", None)
+    if base_url:
+        return base_url
+    spec = getattr(store, "spec", "")
+    if spec.startswith("sqlite:"):
+        return spec
+    return store.root
 
 
 def _claim_cells(claims: dict[str, dict], job_id: str) -> list[object]:
@@ -482,6 +492,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
             poll_seconds=args.poll_seconds,
             max_jobs=args.max_jobs,
             idle_exit=args.idle_exit,
+            poll_max=args.poll_max,
         )
     failures = 0
     for outcome in outcomes:
@@ -501,13 +512,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.netstore import JobStoreServer
     from repro.service.store import JobStore
 
-    store = JobStore(args.state_dir) if args.state_dir else JobStore()
+    if args.backend == "sqlite":
+        from pathlib import Path
+
+        from repro.service.sqlstore import SqliteJobStore
+
+        # --db wins; otherwise the database lives in the state dir, as
+        # the --db help text promises (and only then in $REPRO_HOME).
+        db = args.db or (Path(args.state_dir) / "jobs.sqlite"
+                         if args.state_dir else None)
+        store = SqliteJobStore(db)
+    else:
+        if args.db:
+            raise ReproError("--db only applies to --backend sqlite")
+        store = JobStore(args.state_dir) if args.state_dir else JobStore()
     token = _store_token(args)
     if not token:
         print("warning: serving without a token; any client that can reach "
               "this port can submit and claim jobs", file=sys.stderr)
     server = JobStoreServer(store, host=args.host, port=args.port, token=token)
-    print(f"serving job store {store.root} at {server.url}")
+    print(f"serving job store {_store_label(store)} at {server.url}")
     # A wildcard bind address is not routable; advertise this host's
     # name so the hint works when pasted on another machine.
     advertised = server.url
@@ -542,6 +566,24 @@ def cmd_cache(args: argparse.Namespace) -> int:
         else:
             print(f"cache: {store.cache_path}")
             print(f"entries: {len(cache)}")
+    return 0
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.service.store import migrate_store, store_from_spec
+
+    if args.source == args.dest:
+        raise ReproError("migrate needs two different stores")
+    source = store_from_spec(args.source, token=_store_token(args))
+    dest = store_from_spec(args.dest, token=_store_token(args))
+    counts = migrate_store(source, dest)
+    print(f"migrated {counts['records']} job record(s) and "
+          f"{counts['checkpoints']} checkpoint(s)")
+    print(f"  from: {_store_label(source)}")
+    print(f"  to:   {_store_label(dest)}")
+    if counts["records"]:
+        print("live claims do not migrate; a record caught mid-running is "
+              "requeued by the first worker poll against the new store")
     return 0
 
 
@@ -607,12 +649,16 @@ def build_parser() -> argparse.ArgumentParser:
     def add_store_options(sp: argparse.ArgumentParser) -> None:
         sp.add_argument("--state-dir", default="",
                         help="service state directory (default: $REPRO_HOME or "
-                             "~/.repro); with --store-url, the local spool")
+                             "~/.repro); with a remote store, the local spool")
+        sp.add_argument("--store", default="",
+                        help="job store spec: file:DIR, sqlite:PATH, or "
+                             "http(s)://host:port (overrides --state-dir "
+                             "and --store-url)")
         sp.add_argument("--store-url", default="",
                         help="use a network job store served by 'repro serve' "
                              "(e.g. http://host:8642) instead of a local directory")
         sp.add_argument("--token", default="",
-                        help="shared token for --store-url (default: $REPRO_TOKEN)")
+                        help="shared token for remote stores (default: $REPRO_TOKEN)")
 
     def add_service_options(sp: argparse.ArgumentParser) -> None:
         add_store_options(sp)
@@ -658,18 +704,39 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: stale-after / 4)")
     p.add_argument("--cache-max-entries", type=int, default=None,
                    help="LRU bound for the evaluation cache during this worker's jobs")
+    p.add_argument("--poll-max", type=float, default=None,
+                   help="back off while the queue is empty: double the poll "
+                        "interval up to this many seconds, reset on the first "
+                        "claim (default: no backoff)")
     add_service_options(p)
     p.set_defaults(fn=cmd_worker)
 
-    p = sub.add_parser("serve", help="serve a state directory to remote workers over HTTP")
+    p = sub.add_parser("serve", help="serve a job store to remote workers over HTTP")
     p.add_argument("--host", default="127.0.0.1",
                    help="bind address (default: localhost only)")
     p.add_argument("--port", type=int, default=8642)
     p.add_argument("--token", default="",
                    help="shared auth token clients must present (default: $REPRO_TOKEN)")
+    p.add_argument("--backend", default="file", choices=["file", "sqlite"],
+                   help="what backs the served store: a state directory, or "
+                        "one SQLite database")
+    p.add_argument("--db", default="",
+                   help="with --backend sqlite: the database file "
+                        "(default: jobs.sqlite under the state dir)")
     p.add_argument("--state-dir", default="",
                    help="state directory to serve (default: $REPRO_HOME or ~/.repro)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("migrate",
+                       help="copy job records and checkpoints between stores "
+                            "(file:DIR <-> sqlite:PATH)")
+    p.add_argument("--from", dest="source", required=True, metavar="SPEC",
+                   help="source store spec (file:DIR, sqlite:PATH, or URL)")
+    p.add_argument("--to", dest="dest", required=True, metavar="SPEC",
+                   help="target store spec")
+    p.add_argument("--token", default="",
+                   help="shared token if either end is a remote store")
+    p.set_defaults(fn=cmd_migrate)
 
     p = sub.add_parser("status", help="show the service's job table")
     p.add_argument("--job", default="", help="show one job in detail")
@@ -688,6 +755,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-entries", type=int, default=None,
                    help="evict least-recently-used entries down to this bound")
     p.add_argument("--state-dir", default="")
+    p.add_argument("--store", default="",
+                   help="job store spec whose cache to operate on "
+                        "(file:DIR or sqlite:PATH)")
     p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("experiment", help="run a paper experiment end to end")

@@ -13,7 +13,11 @@ queued jobs for detached execution (``repro submit --detach`` +
 directory.  :class:`JobStoreServer` serves a store over HTTP (``repro
 serve``) and :class:`RemoteJobStore` is the client with the identical
 :data:`STORE_PROTOCOL` surface (``--store-url``), extending the same
-claim/heartbeat contract across machines.
+claim/heartbeat contract across machines.  :class:`SqliteJobStore`
+keeps the whole store in one transactional SQLite database for heavy
+fleets; :func:`store_from_spec` opens any backend from its spec string
+(``file:DIR`` / ``sqlite:PATH`` / ``http://...``) and
+:func:`migrate_store` moves state between them.
 """
 
 from repro.service.backends import (
@@ -33,11 +37,14 @@ from repro.service.checkpoint import (
 from repro.service.job import JobResult, ProtectionJob
 from repro.service.netstore import PROTOCOL_VERSION, JobStoreServer, RemoteJobStore
 from repro.service.runner import JobOutcome, JobRunner
+from repro.service.sqlstore import SqliteJobStore
 from repro.service.store import (
     STORE_PROTOCOL,
     JobRecord,
     JobStore,
     default_state_dir,
+    migrate_store,
+    store_from_spec,
 )
 from repro.service.worker import ClaimHeartbeat, Worker
 
@@ -54,8 +61,11 @@ __all__ = [
     "checkpoint_from_dict",
     "JobStore",
     "JobRecord",
+    "SqliteJobStore",
     "JobStoreServer",
     "RemoteJobStore",
+    "store_from_spec",
+    "migrate_store",
     "PROTOCOL_VERSION",
     "STORE_PROTOCOL",
     "Worker",

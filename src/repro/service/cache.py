@@ -20,6 +20,19 @@ Eviction only ever discards *cached* work — an evicted key is simply
 recomputed on next use, so scores are unchanged and only the
 ``fresh_evaluations`` accounting of later runs goes up.  Caches created
 before the ``accessed_at`` column existed are migrated in place on open.
+
+Two hot-path costs are kept off the disk: the entry count each bounded
+``put`` needs is maintained in memory (seeded with one ``COUNT`` on
+open, corrected from actual delete counts, re-synced whenever
+``len``/``stats`` run a real count), and ``accessed_at`` refreshes are
+batched — hits record a pending touch that is flushed every
+``_TOUCH_FLUSH_EVERY`` hits and always before an eviction decision, so
+LRU ordering still sees every hit.  Both are per-handle bookkeeping;
+because several worker processes may write one file, each handle also
+re-runs the real ``COUNT`` every ``_COUNT_SYNC_EVERY`` of its own puts
+(and on ``len``/``stats``/``close``), so a bounded store shared by N
+handles can only overshoot its bound by the inserts other handles land
+inside one sync window — transiently, and never changing a score.
 """
 
 from __future__ import annotations
@@ -103,6 +116,8 @@ class EvaluationCache:
         self._lock = threading.Lock()
         self._closed = False
         self._entries_at_close = 0
+        self._pending_touches: dict[str, float] = {}
+        self._puts_since_count = 0
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
         with self._lock:
             self._conn.execute("PRAGMA journal_mode=WAL")
@@ -110,6 +125,30 @@ class EvaluationCache:
             self._conn.execute(_SCHEMA)
             self._migrate_locked()
             self._conn.commit()
+            self._entries = self._count_locked()
+
+    #: Hits between ``accessed_at`` flushes; also flushed by eviction,
+    #: ``len``/``stats`` and ``close``, so LRU order never misses a hit.
+    _TOUCH_FLUSH_EVERY = 64
+
+    #: Bounded puts between real ``COUNT`` re-syncs of the in-memory
+    #: entry count — the cap on how long another process's inserts can
+    #: go unseen by this handle's eviction decisions.
+    _COUNT_SYNC_EVERY = 256
+
+    def _count_locked(self) -> int:
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()
+        return int(count)
+
+    def _flush_touches_locked(self) -> None:
+        if not self._pending_touches:
+            return
+        self._conn.executemany(
+            "UPDATE evaluations SET accessed_at = ? WHERE key = ?",
+            [(stamp, key) for key, stamp in self._pending_touches.items()],
+        )
+        self._conn.commit()
+        self._pending_touches.clear()
 
     def _migrate_locked(self) -> None:
         """Add ``accessed_at`` to stores created before it existed."""
@@ -127,11 +166,15 @@ class EvaluationCache:
         """Stored score for ``key``, or ``None`` on a miss.
 
         On a bounded handle a hit refreshes the row's ``accessed_at`` so
-        recently-used entries survive LRU eviction.  Unbounded handles
-        keep the read path free of disk writes — their rows carry the
-        ``accessed_at`` of the last write, so an ``evict()`` run against
-        a store only ever touched unbounded is least-recently-*written*
-        eviction, which is still oldest-work-first.
+        recently-used entries survive LRU eviction — recorded as a
+        pending touch and flushed in batches (and always before an
+        eviction orders by ``accessed_at``), so the hit path pays a
+        disk write once per :data:`_TOUCH_FLUSH_EVERY` hits, not per
+        hit.  Unbounded handles keep the read path free of disk writes
+        entirely — their rows carry the ``accessed_at`` of the last
+        write, so an ``evict()`` run against a store only ever touched
+        unbounded is least-recently-*written* eviction, which is still
+        oldest-work-first.
         """
         with self._lock:
             row = self._conn.execute(
@@ -142,11 +185,9 @@ class EvaluationCache:
                 return None
             self.hits += 1
             if not self.readonly and self.max_entries is not None:
-                self._conn.execute(
-                    "UPDATE evaluations SET accessed_at = ? WHERE key = ?",
-                    (time.time(), key),
-                )
-                self._conn.commit()
+                self._pending_touches[key] = time.time()
+                if len(self._pending_touches) >= self._TOUCH_FLUSH_EVERY:
+                    self._flush_touches_locked()
         return score_from_dict(json.loads(row[0]))
 
     def put(self, key: str, score: ProtectionScore) -> None:
@@ -159,12 +200,29 @@ class EvaluationCache:
             return
         payload = json.dumps(score_to_dict(score))
         with self._lock:
+            # Maintain the in-memory count with an indexed existence
+            # probe instead of the old COUNT(*)-per-put table scan.
+            exists = self._conn.execute(
+                "SELECT 1 FROM evaluations WHERE key = ?", (key,)
+            ).fetchone() is not None
             self._conn.execute(
                 "INSERT OR REPLACE INTO evaluations (key, payload, accessed_at) "
                 "VALUES (?, ?, ?)",
                 (key, payload, time.time()),
             )
+            if not exists:
+                self._entries += 1
+            # The write stamps accessed_at itself; a pending hit touch
+            # for the same key is superseded.
+            self._pending_touches.pop(key, None)
             if self.max_entries is not None:
+                self._puts_since_count += 1
+                if self._puts_since_count >= self._COUNT_SYNC_EVERY:
+                    # See the inserts other handles on this file made
+                    # since the last sync, or a shared bound would only
+                    # ever be enforced against our own writes.
+                    self._entries = self._count_locked()
+                    self._puts_since_count = 0
                 self.evictions += self._evict_locked(self.max_entries)
             self._conn.commit()
             self.writes += 1
@@ -173,18 +231,23 @@ class EvaluationCache:
 
     def _evict_locked(self, bound: int) -> int:
         """Delete least-recently-used rows down to ``bound``; count removed."""
-        (count,) = self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()
-        excess = int(count) - bound
+        excess = self._entries - bound
         if excess <= 0:
             return 0
+        # LRU order must see every hit: flush batched touches first.
+        self._flush_touches_locked()
         # Ties on accessed_at (e.g. never-touched migrated rows at 0)
         # break by rowid, i.e. insertion order — still oldest-first.
-        self._conn.execute(
+        cursor = self._conn.execute(
             "DELETE FROM evaluations WHERE key IN ("
             "SELECT key FROM evaluations ORDER BY accessed_at ASC, rowid ASC LIMIT ?)",
             (excess,),
         )
-        return excess
+        # The actual delete count corrects any drift another process's
+        # handle introduced into our in-memory count.
+        removed = cursor.rowcount if cursor.rowcount >= 0 else excess
+        self._entries -= removed
+        return removed
 
     def evict(self, max_entries: int | None = None) -> int:
         """Evict least-recently-used entries down to a bound, now.
@@ -208,14 +271,20 @@ class EvaluationCache:
         with self._lock:
             if self._closed:
                 return self._entries_at_close
-            (count,) = self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()
-        return int(count)
+            self._flush_touches_locked()
+            # A real count, which also re-syncs the in-memory counter
+            # with whatever other handles on this file have done.
+            self._entries = self._count_locked()
+            self._puts_since_count = 0
+            return self._entries
 
     def clear(self) -> int:
         """Drop every stored evaluation; returns how many were removed."""
         with self._lock:
             removed = self._conn.execute("DELETE FROM evaluations").rowcount
             self._conn.commit()
+            self._pending_touches.clear()
+            self._entries = 0
         return int(removed)
 
     def stats(self) -> dict[str, int]:
@@ -233,12 +302,12 @@ class EvaluationCache:
         }
 
     def close(self) -> None:
-        """Close the underlying sqlite handle (idempotent)."""
+        """Flush pending touches and close the sqlite handle (idempotent)."""
         with self._lock:
             if self._closed:
                 return
-            (count,) = self._conn.execute("SELECT COUNT(*) FROM evaluations").fetchone()
-            self._entries_at_close = int(count)
+            self._flush_touches_locked()
+            self._entries_at_close = self._count_locked()
             self._conn.close()
             self._closed = True
 

@@ -88,10 +88,6 @@ def _checked_record(record: JobRecord) -> JobRecord:
     return record
 
 
-def _checkpoint_file(store: JobStore, job_id: str) -> Path:
-    return store.checkpoints_dir / f"{_checked_job_id(job_id)}.json"
-
-
 # -- server-side method table ------------------------------------------------
 #
 # Each handler takes (store, params) and returns a JSON-ready value.
@@ -153,6 +149,12 @@ def _m_claim(store: JobStore, p: dict) -> bool:
     return store.claim(_checked_job_id(p["job_id"]), owner=str(p.get("owner", "")))
 
 
+def _m_claim_batch(store: JobStore, p: dict) -> list[dict]:
+    won = store.claim_batch(owner=str(p.get("owner", "")),
+                            limit=int(p.get("limit", 0)))
+    return [record.to_dict() for record in won]
+
+
 def _m_release(store: JobStore, p: dict) -> bool:
     owner = p.get("owner")
     return store.release(_checked_job_id(p["job_id"]),
@@ -180,31 +182,19 @@ def _m_recover_stale_claims(store: JobStore, p: dict) -> list[str]:
 
 
 def _m_get_checkpoint(store: JobStore, p: dict) -> dict | None:
-    path = _checkpoint_file(store, p["job_id"])
-    try:
-        return json.loads(path.read_text(encoding="utf-8"))
-    except (FileNotFoundError, json.JSONDecodeError):
-        return None
+    return store.get_checkpoint(_checked_job_id(p["job_id"]))
 
 
 def _m_put_checkpoint(store: JobStore, p: dict) -> None:
-    path = _checkpoint_file(store, p["job_id"])
     payload = p.get("payload")
     if not isinstance(payload, dict):
         raise ServiceError("put_checkpoint needs a JSON object payload")
     owner = p.get("owner")
-    if owner is not None:
-        # Owner-gated upload: a worker whose claim was recovered and
-        # re-granted must not overwrite the new owner's fresher state.
-        # Exact match only — a torn claim (unreadable mid-heartbeat)
-        # refuses rather than guesses, like release and heartbeat do.
-        info = store.claim_info(p["job_id"])
-        if info is None or info.get("owner") != owner:
-            raise WorkerError(
-                f"checkpoint upload rejected: {p['job_id']!r} is not "
-                f"claimed by {owner!r}"
-            )
-    _atomic_write_json(path, payload)
+    # The store's put_checkpoint enforces the owner gate (a worker whose
+    # claim was recovered must not overwrite the new owner's state); for
+    # the sqlite backend it also lands the blob in the database.
+    store.put_checkpoint(_checked_job_id(p["job_id"]), payload,
+                         owner=None if owner is None else str(owner))
 
 
 def _m_ping(store: JobStore, p: dict) -> dict:
@@ -222,6 +212,7 @@ _METHODS = {
     "mark_failed": _m_mark_failed,
     "requeue": _m_requeue,
     "claim": _m_claim,
+    "claim_batch": _m_claim_batch,
     "release": _m_release,
     "heartbeat": _m_heartbeat,
     "claim_info": _m_claim_info,
@@ -580,6 +571,23 @@ class RemoteJobStore:
             self._download_checkpoint(job_id)
         return won
 
+    def claim_batch(self, owner: str = "", limit: int = 0) -> list[JobRecord]:
+        """Claim up to ``limit`` queued records in one round trip.
+
+        The whole queue-walk-and-claim loop happens server-side (for a
+        database-backed store, in one transaction), so a worker's
+        capacity pull costs one RPC however long the queue is.  Each
+        won job's checkpoint is pulled into the local spool, exactly as
+        a single-job claim does.
+        """
+        won = [
+            JobRecord.from_dict(item)
+            for item in self._call("claim_batch", owner=owner, limit=limit)
+        ]
+        for record in won:
+            self._download_checkpoint(record.job_id)
+        return won
+
     def release(self, job_id: str, owner: str | None = None) -> bool:
         """Drop ``job_id``'s claim; owner-checked when ``owner`` is given.
 
@@ -623,12 +631,22 @@ class RemoteJobStore:
 
     # -- checkpoint spool ----------------------------------------------------
 
+    def get_checkpoint(self, job_id: str) -> dict | None:
+        """The server's durable checkpoint blob for ``job_id``, or ``None``."""
+        payload = self._call("get_checkpoint", job_id=job_id)
+        return payload if isinstance(payload, dict) else None
+
+    def put_checkpoint(self, job_id: str, payload: dict,
+                       owner: str | None = None) -> None:
+        """Upload a checkpoint blob (claim-gated server-side with ``owner``)."""
+        self._call("put_checkpoint", job_id=job_id, payload=payload, owner=owner)
+
     def _local_checkpoint(self, job_id: str) -> Path:
         return self.checkpoints_dir / f"{job_id}.json"
 
     def _download_checkpoint(self, job_id: str) -> None:
-        payload = self._call("get_checkpoint", job_id=job_id)
-        if not isinstance(payload, dict):
+        payload = self.get_checkpoint(job_id)
+        if payload is None:
             return
         path = self._local_checkpoint(job_id)
         _atomic_write_json(path, payload)
@@ -648,8 +666,7 @@ class RemoteJobStore:
         except (json.JSONDecodeError, FileNotFoundError):
             return  # mid-write or gone; the next beat will retry
         try:
-            self._call("put_checkpoint", job_id=job_id, payload=payload,
-                       owner=owner)
+            self.put_checkpoint(job_id, payload, owner=owner)
         except WorkerError:
             return  # we no longer own the claim; the new owner's state wins
         self._synced_mtimes[job_id] = mtime

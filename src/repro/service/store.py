@@ -63,12 +63,15 @@ STORE_PROTOCOL = (
     "mark_failed",
     "requeue",
     "claim",
+    "claim_batch",
     "release",
     "heartbeat",
     "claim_info",
     "claims",
     "claimed_job_ids",
     "recover_stale_claims",
+    "get_checkpoint",
+    "put_checkpoint",
 )
 
 
@@ -160,6 +163,16 @@ class JobStore:
         for directory in (self.jobs_dir, self.claims_dir, self.checkpoints_dir,
                           self.cache_dir):
             directory.mkdir(parents=True, exist_ok=True)
+        # Status index: job_id -> (mtime_ns, size, status, submitted_at),
+        # validated by stat on every use, so queue polls and stale
+        # recovery re-parse only records that actually changed since the
+        # last tick instead of re-reading the whole job table.
+        self._index: dict[str, tuple[int, int, str, float]] = {}
+
+    @property
+    def spec(self) -> str:
+        """The :func:`store_from_spec` spec that reopens this store."""
+        return f"file:{self.root}"
 
     # -- locations ----------------------------------------------------------
 
@@ -175,6 +188,10 @@ class JobStore:
     def claim_path(self, job_id: str) -> Path:
         """Where ``job_id``'s worker claim marker lives."""
         return self.claims_dir / f"{job_id}.claim"
+
+    def checkpoint_path(self, job_id: str) -> Path:
+        """Where ``job_id``'s engine checkpoint lives."""
+        return self.checkpoints_dir / f"{job_id}.json"
 
     # -- record lifecycle ---------------------------------------------------
 
@@ -229,9 +246,64 @@ class JobStore:
         ]
         return sorted(loaded, key=lambda r: r.submitted_at)
 
+    def _status_index(self) -> dict[str, tuple[str, float]]:
+        """``job_id -> (status, submitted_at)`` without a full table read.
+
+        Every record file is stat'ed (cheap) but only files whose
+        mtime/size changed since the last call are re-parsed, so a
+        polling worker's steady-state tick costs one stat per job, not
+        one JSON parse per job.  A file that vanishes or tears mid-read
+        (a save racing this scan) is simply skipped — records are
+        written by atomic rename, so the next tick sees its final
+        state.  A fresh store instance seeds the index with one full
+        scan, which is exactly the old behaviour.
+        """
+        fresh: dict[str, tuple[int, int, str, float]] = {}
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            job_id = path.stem
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            cached = self._index.get(job_id)
+            if (cached is not None and cached[0] == stat.st_mtime_ns
+                    and cached[1] == stat.st_size):
+                fresh[job_id] = cached
+                continue
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if not isinstance(payload, dict):
+                continue
+            fresh[job_id] = (stat.st_mtime_ns, stat.st_size,
+                             payload.get("status", QUEUED),
+                             float(payload.get("submitted_at") or 0.0))
+        self._index = fresh
+        return {job_id: (entry[2], entry[3]) for job_id, entry in fresh.items()}
+
     def queued(self) -> list[JobRecord]:
-        """Queued records only, oldest submission first (the work queue)."""
-        return [record for record in self.records() if record.status == QUEUED]
+        """Queued records only, oldest submission first (the work queue).
+
+        Uses the status index to load only the records it will return:
+        a poll over a mostly-finished job table no longer re-reads every
+        completed record.  Each candidate is re-read (and re-checked)
+        through :meth:`get`, so a record that left the queue between
+        the index scan and the load is filtered out, never returned
+        stale.
+        """
+        index = self._status_index()
+        candidates = sorted(
+            (submitted_at, job_id)
+            for job_id, (status, submitted_at) in index.items()
+            if status == QUEUED
+        )
+        records = []
+        for _, job_id in candidates:
+            record = self.get(job_id, missing_ok=True)
+            if record is not None and record.status == QUEUED:
+                records.append(record)
+        return records
 
     def mark_running(self, record: JobRecord) -> None:
         """Transition to ``running`` and persist."""
@@ -323,6 +395,49 @@ class JobStore:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         return True
+
+    def claim_batch(self, owner: str = "", limit: int = 0) -> list[JobRecord]:
+        """Win claims over up to ``limit`` queued records for ``owner``.
+
+        The one-call form of the worker claim loop: walk the queue
+        oldest-first, claim each record, re-read inside the claim (a
+        record that stopped being queued in the meantime is released
+        again, not returned), and stop after ``limit`` wins when
+        positive.  On any error every claim already held is released
+        best-effort before the error propagates.  Database-backed
+        stores implement this as one transaction; here it is the same
+        claim-file protocol the single-job path uses.
+
+        Only *new* wins are returned: a job this owner already holds is
+        skipped, not re-won — ``claim()``'s per-owner idempotency would
+        otherwise hand a polling worker its own running jobs back on
+        every batch pull, forever.
+        """
+        mine: list[JobRecord] = []
+        held: list[str] = []
+        try:
+            for record in self.queued():
+                if limit and len(mine) >= limit:
+                    break
+                if self.claim_info(record.job_id) is not None:
+                    continue  # held by someone — possibly by this owner
+                if not self.claim(record.job_id, owner=owner):
+                    continue
+                held.append(record.job_id)
+                current = self.get(record.job_id, missing_ok=True)
+                if current is None or current.status != QUEUED:
+                    self.release(record.job_id, owner=owner)
+                    held.pop()
+                    continue
+                mine.append(current)
+        except BaseException:
+            for job_id in held:
+                try:
+                    self.release(job_id, owner=owner)
+                except Exception:  # noqa: BLE001 - stale recovery backstops
+                    pass
+            raise
+        return mine
 
     def release(self, job_id: str, owner: str | None = None) -> bool:
         """Drop ``job_id``'s claim (no-op when none exists).
@@ -480,23 +595,131 @@ class JobStore:
         # above can't see those (there is no claim), and they are in no
         # queue, so requeue them here.  Running-with-no-claim is never a
         # legitimate state: marks happen strictly inside the claim.
-        for record in self.records():
-            if record.status != RUNNING or record.job_id in recovered:
+        # The status index keeps this scan from re-reading every record.
+        index = self._status_index()
+        running = sorted(
+            (submitted_at, job_id)
+            for job_id, (status, submitted_at) in index.items()
+            if status == RUNNING
+        )
+        for _, job_id in running:
+            if job_id in recovered:
                 continue
             # Re-read right before acting, and re-check the claim: a
             # worker may have claimed or finished it since the listing.
-            current = self.get(record.job_id, missing_ok=True)
+            current = self.get(job_id, missing_ok=True)
             if (
                 current is not None
                 and current.status == RUNNING
-                and self.claim_info(record.job_id) is None
+                and self.claim_info(job_id) is None
             ):
                 try:
                     self.requeue(current)
                 except WorkerError:
                     continue  # finished in the window; nothing to recover
-                recovered.append(record.job_id)
+                recovered.append(job_id)
         return recovered
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def get_checkpoint(self, job_id: str) -> dict | None:
+        """The stored engine checkpoint for ``job_id``, or ``None``."""
+        try:
+            payload = json.loads(
+                self.checkpoint_path(job_id).read_text(encoding="utf-8")
+            )
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put_checkpoint(self, job_id: str, payload: dict,
+                       owner: str | None = None) -> None:
+        """Durably store ``job_id``'s checkpoint.
+
+        With ``owner`` given the write is claim-gated: a worker whose
+        claim was recovered and re-granted must not overwrite the new
+        owner's fresher state.  Exact match only — a torn claim
+        (unreadable mid-heartbeat) refuses rather than guesses, like
+        release and heartbeat do.
+        """
+        if not isinstance(payload, dict):
+            raise ServiceError("checkpoint payload must be a JSON object")
+        if owner is not None:
+            info = self.claim_info(job_id)
+            if info is None or info.get("owner") != owner:
+                raise WorkerError(
+                    f"checkpoint upload rejected: {job_id!r} is not "
+                    f"claimed by {owner!r}"
+                )
+        _atomic_write_json(self.checkpoint_path(job_id), payload)
 
     def __repr__(self) -> str:
         return f"JobStore({str(self.root)!r})"
+
+
+def store_from_spec(spec: str = "", *, token: str = "",
+                    state_dir: str | Path | None = None):
+    """Open a job store from its selection spec — the one factory the
+    CLI, workers and tests share instead of ad-hoc backend branching.
+
+    Spec grammar (the selection contract, recorded in the ROADMAP):
+
+    - ``""`` — the default file store (``state_dir``, else
+      ``$REPRO_HOME`` or ``~/.repro``);
+    - ``file:DIR`` or a bare directory path — a file store on ``DIR``;
+    - ``sqlite:PATH`` — a :class:`~repro.service.sqlstore.SqliteJobStore`
+      on the database file ``PATH`` (empty path: ``jobs.sqlite`` under
+      the default state directory);
+    - ``http://...`` / ``https://...`` — a
+      :class:`~repro.service.netstore.RemoteJobStore` client of a
+      ``repro serve`` endpoint, authenticated with ``token`` and
+      spooling under ``state_dir``.
+
+    Local paths are ``~``-expanded here: a spec like ``file:~/.repro``
+    reaches this factory verbatim (shells do not tilde-expand after the
+    colon), and silently creating a literal ``./~`` directory instead
+    of opening the home-dir store would make a migration look
+    successful while copying nothing.
+
+    Every returned store exposes the full :data:`STORE_PROTOCOL`.
+    """
+    spec = (spec or "").strip()
+    if spec.startswith(("http://", "https://")):
+        from repro.service.netstore import RemoteJobStore
+
+        return RemoteJobStore(spec, token=token,
+                              spool=state_dir if state_dir else None)
+    if spec.startswith("sqlite:"):
+        from repro.service.sqlstore import SqliteJobStore
+
+        path = spec[len("sqlite:"):]
+        return SqliteJobStore(Path(path).expanduser() if path else None)
+    if spec.startswith("file:"):
+        spec = spec[len("file:"):]
+    if not spec:
+        return JobStore(state_dir) if state_dir else JobStore()
+    return JobStore(Path(spec).expanduser())
+
+
+def migrate_store(source, target) -> dict[str, int]:
+    """Copy every job record and checkpoint from ``source`` to ``target``.
+
+    Works across any two :data:`STORE_PROTOCOL` stores (this is the
+    ``repro migrate`` export/import pair: file directory -> sqlite
+    database and back).  Records keep their status, timestamps and
+    results byte-for-byte; checkpoints ride along keyed by job id.
+    Live claims are deliberately *not* carried: migrate a quiesced
+    fleet — a record mid-``running`` at snapshot time arrives with no
+    claim and is requeued by the first ``recover_stale_claims`` pass on
+    the target, which is exactly the crashed-worker repair path.
+    Returns counts of what was copied.
+    """
+    records = source.records()
+    checkpoints = 0
+    for record in records:
+        target.save(record)
+        payload = source.get_checkpoint(record.job_id)
+        if payload is not None:
+            target.put_checkpoint(record.job_id, payload)
+            checkpoints += 1
+    return {"records": len(records), "checkpoints": checkpoints}

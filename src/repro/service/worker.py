@@ -275,9 +275,17 @@ class Worker:
     def _claim_batch(
         self, limit: int, candidates: list[JobRecord] | None = None
     ) -> list[JobRecord]:
-        """Win up to ``limit`` claims over still-queued records."""
-        pool = candidates if candidates is not None else self.store.queued()
-        return claim_queued(self.store, pool, self.worker_id, limit=limit)
+        """Win up to ``limit`` claims over still-queued records.
+
+        Without explicit candidates the store's own ``claim_batch``
+        does the whole queue-walk-and-claim — one transaction on a
+        database store, one round trip on a remote one.  With
+        candidates (the single-record :meth:`process` path) the claim
+        loop runs here over exactly those records.
+        """
+        if candidates is None:
+            return self.store.claim_batch(owner=self.worker_id, limit=limit)
+        return claim_queued(self.store, candidates, self.worker_id, limit=limit)
 
     def _run_claimed(self, records: list[JobRecord]) -> list[JobOutcome]:
         """Execute records this worker owns; marks, heartbeats, releases.
@@ -362,28 +370,46 @@ class Worker:
         poll_seconds: float = 2.0,
         max_jobs: int = 0,
         idle_exit: int = 0,
+        poll_max: float | None = None,
     ) -> list[JobOutcome]:
         """Poll-and-drain loop for a long-lived worker process.
 
-        Drains the queue, sleeps ``poll_seconds``, repeats.  ``max_jobs``
-        stops after that many executed jobs and ``idle_exit`` after that
-        many consecutive empty polls; both default to 0, meaning "no
-        limit" — the loop then only ends by external termination.
+        Drains the queue, sleeps, repeats.  ``max_jobs`` stops after
+        that many executed jobs and ``idle_exit`` after that many
+        consecutive empty polls; both default to 0, meaning "no limit"
+        — the loop then only ends by external termination.
+
+        With ``poll_max`` set, an idle worker backs off: each
+        consecutive empty poll doubles the sleep, from ``poll_seconds``
+        up to ``poll_max``, and the first successful claim resets it —
+        so an idle fleet stops hammering the shared server or database
+        while a busy one still polls at full cadence.
         """
         if poll_seconds <= 0:
             raise WorkerError(f"poll_seconds must be positive, got {poll_seconds}")
+        if poll_max is not None and poll_max < poll_seconds:
+            raise WorkerError(
+                f"poll_max ({poll_max}) must be >= poll_seconds ({poll_seconds})"
+            )
         outcomes: list[JobOutcome] = []
         idle_polls = 0
+        delay = float(poll_seconds)
         while True:
             remaining = max_jobs - len(outcomes) if max_jobs else 0
             batch = self.run_once(max_jobs=remaining)
             outcomes.extend(batch)
             if max_jobs and len(outcomes) >= max_jobs:
                 return outcomes
-            idle_polls = 0 if batch else idle_polls + 1
+            if batch:
+                idle_polls = 0
+                delay = float(poll_seconds)
+            else:
+                idle_polls += 1
             if idle_exit and idle_polls >= idle_exit:
                 return outcomes
-            time.sleep(poll_seconds)
+            time.sleep(delay)
+            if not batch and poll_max is not None:
+                delay = min(delay * 2.0, float(poll_max))
 
     def __repr__(self) -> str:
         return f"Worker({self.worker_id!r}, store={self.store!r})"

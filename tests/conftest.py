@@ -16,34 +16,71 @@ from repro.service import JobStore
 
 @dataclass
 class StoreHarness:
-    """One store under test plus the on-disk store its state lands in.
+    """One store under test plus the backing store its state lands in.
 
-    ``store`` is what the test exercises (the file store itself, or a
-    ``RemoteJobStore`` speaking to a live in-process server over HTTP);
-    ``backing`` is always the underlying :class:`JobStore`, so tests can
-    simulate conditions no healthy client would produce — like a claim
-    whose worker died ``seconds`` ago.
+    ``store`` is what the test exercises (a file or sqlite store
+    directly, or a ``RemoteJobStore`` speaking to a live in-process
+    server over HTTP); ``backing`` is the underlying local store —
+    file-backed :class:`JobStore` or ``SqliteJobStore`` — so tests can
+    simulate conditions no healthy client would produce, like a claim
+    whose worker died ``seconds`` ago or one torn mid-heartbeat.
     """
 
     store: object
-    backing: JobStore
+    backing: object
+
+    def _is_file_backing(self) -> bool:
+        return isinstance(self.backing, JobStore)
 
     def age_claim(self, job_id: str, seconds: float) -> None:
         """Backdate a claim as if its worker went silent ``seconds`` ago."""
-        path = self.backing.claim_path(job_id)
-        info = json.loads(path.read_text(encoding="utf-8"))
-        info["claimed_at"] = time.time() - seconds
-        info["last_seen"] = time.time() - seconds
-        path.write_text(json.dumps(info), encoding="utf-8")
+        then = time.time() - seconds
+        if self._is_file_backing():
+            path = self.backing.claim_path(job_id)
+            info = json.loads(path.read_text(encoding="utf-8"))
+            info["claimed_at"] = then
+            info["last_seen"] = then
+            path.write_text(json.dumps(info), encoding="utf-8")
+            return
+        with self.backing._lock:
+            self.backing._conn.execute(
+                "UPDATE claims SET claimed_at = ?, last_seen = ? WHERE job_id = ?",
+                (then, then, job_id),
+            )
+
+    def tear_claim(self, job_id: str) -> None:
+        """Install a held claim whose metadata cannot be read.
+
+        The file store's torn shape is an empty claim file (its true
+        holder is between truncate and write); the sqlite store's is a
+        claim row with a NULL owner.  Both mean "held, by whom
+        unknown", and the owner-gated operations must refuse to guess.
+        """
+        if self._is_file_backing():
+            self.backing.claim_path(job_id).write_text("", encoding="utf-8")
+            return
+        with self.backing._lock:
+            self.backing._conn.execute(
+                "INSERT OR REPLACE INTO claims "
+                "(job_id, owner, pid, claimed_at, last_seen) "
+                "VALUES (?, NULL, NULL, ?, ?)",
+                (job_id, time.time(), time.time()),
+            )
 
 
-@pytest.fixture(params=["file", "remote"])
+@pytest.fixture(params=["file", "remote", "sqlite", "sqlite-remote"])
 def store_harness(request, tmp_path) -> StoreHarness:
-    """The store contract fixture: every test using it runs twice, once
-    against the file-backed ``JobStore`` and once against a
-    ``RemoteJobStore`` over a live ``JobStoreServer``."""
-    backing = JobStore(tmp_path / "state")
-    if request.param == "file":
+    """The store contract fixture: every test using it runs once per
+    backend — the file-backed ``JobStore``, the ``SqliteJobStore``, and
+    a ``RemoteJobStore`` over a live ``JobStoreServer`` fronting each
+    of the two."""
+    if request.param.startswith("sqlite"):
+        from repro.service import SqliteJobStore
+
+        backing = SqliteJobStore(tmp_path / "state" / "jobs.sqlite")
+    else:
+        backing = JobStore(tmp_path / "state")
+    if request.param in ("file", "sqlite"):
         yield StoreHarness(store=backing, backing=backing)
         return
     from repro.service import JobStoreServer, RemoteJobStore

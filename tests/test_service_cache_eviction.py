@@ -68,7 +68,20 @@ class TestBound:
         assert after_hit == written_at
 
 
-class TestEvict:
+class TestSharedFileBound:
+    def test_other_handles_inserts_count_against_the_bound(self, tmp_path):
+        # Regression: the in-memory entry count is per handle, so a
+        # bounded handle must periodically re-sync with the real COUNT
+        # or inserts from other worker processes never trigger
+        # eviction and the shared file grows without limit.
+        path = tmp_path / "cache.sqlite"
+        bounded = EvaluationCache(path, max_entries=10)
+        bounded._COUNT_SYNC_EVERY = 1  # sync on every put, for the test
+        other = EvaluationCache(path)  # an unbounded sibling handle
+        for i in range(25):
+            other.put(f"other-{i}", _score(float(i)))
+        bounded.put("mine", _score())
+        assert len(bounded) <= 10
     def test_manual_evict_to_bound(self, tmp_path):
         cache = EvaluationCache(tmp_path / "cache.sqlite")
         for i in range(5):

@@ -6,6 +6,8 @@ import random
 import threading
 import time
 
+import pytest
+
 from repro.service import JobStore, ProtectionJob, Worker
 
 
@@ -109,6 +111,79 @@ class TestRandomizedClaimRace:
         for slot, won in enumerate(wins):
             for job_id in won:
                 assert store_harness.backing.claim_info(job_id)["owner"] == f"w{slot}"
+
+
+@pytest.mark.stress
+class TestClaimRaceStress:
+    """The nightly-scale claim-race battery (deselected by default).
+
+    Same invariant as :class:`TestRandomizedClaimRace` — exact
+    partition, no double-claims, no lost jobs — but at fleet scale and
+    with mixed claim styles: half the contenders walk the queue with
+    single ``claim()`` calls in RNG-derived orders, the other half pull
+    ``claim_batch`` capacity batches, against every store backend.
+    Gated behind ``-m stress`` (CI runs it on the nightly schedule).
+    """
+
+    SEED = 0x57E55
+    N_JOBS = 120
+    N_THREADS = 12
+
+    def test_mixed_claimers_partition_large_queue(self, store_harness):
+        store = store_harness.store
+        rng = random.Random(self.SEED)
+        records = [
+            store.submit(ProtectionJob(dataset="adult", generations=1, seed=seed))
+            for seed in range(self.N_JOBS)
+        ]
+        job_ids = [record.job_id for record in records]
+        orders = [rng.sample(job_ids, len(job_ids))
+                  for _ in range(self.N_THREADS)]
+        pauses = [[rng.uniform(0, 0.001) for _ in range(8)]
+                  for _ in range(self.N_THREADS)]
+        wins: list[list[str]] = [[] for _ in range(self.N_THREADS)]
+        errors: list[Exception] = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def claim_one_by_one(slot: int) -> None:
+            for i, job_id in enumerate(orders[slot]):
+                if store.claim(job_id, owner=f"w{slot}"):
+                    wins[slot].append(job_id)
+                time.sleep(pauses[slot][i % len(pauses[slot])])
+
+        def claim_in_batches(slot: int) -> None:
+            while True:
+                batch = store.claim_batch(owner=f"w{slot}", limit=5)
+                if not batch:
+                    return
+                wins[slot].extend(record.job_id for record in batch)
+                time.sleep(pauses[slot][len(wins[slot]) % len(pauses[slot])])
+
+        def contend(slot: int) -> None:
+            barrier.wait()
+            try:
+                if slot % 2:
+                    claim_in_batches(slot)
+                else:
+                    claim_one_by_one(slot)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=contend, args=(i,))
+                   for i in range(self.N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        all_wins = [job_id for slot in wins for job_id in slot]
+        assert len(all_wins) == len(set(all_wins))
+        assert sorted(all_wins) == sorted(job_ids)
+        for slot, won in enumerate(wins):
+            for job_id in won:
+                info = store_harness.backing.claim_info(job_id)
+                assert info["owner"] == f"w{slot}"
 
 
 class TestConcurrentWorkers:

@@ -88,6 +88,46 @@ class TestRunLoop:
             Worker(store, stale_after=0)
         with pytest.raises(WorkerError, match="poll_seconds"):
             Worker(store).run(poll_seconds=0)
+        with pytest.raises(WorkerError, match="poll_max"):
+            Worker(store).run(poll_seconds=2.0, poll_max=1.0)
+
+    def test_idle_polls_back_off_to_poll_max(self, store, monkeypatch):
+        # An idle fleet must not hammer the store: each consecutive
+        # empty poll doubles the sleep, capped at poll_max.
+        sleeps: list[float] = []
+        monkeypatch.setattr("repro.service.worker.time.sleep", sleeps.append)
+        Worker(store).run(poll_seconds=1.0, poll_max=8.0, idle_exit=6)
+        assert sleeps == [1.0, 2.0, 4.0, 8.0, 8.0]
+
+    def test_claim_resets_the_backoff(self, store, monkeypatch):
+        # Two empty polls grow the delay; then work appears, is run,
+        # and the next sleep is back at the base cadence.
+        sleeps: list[float] = []
+        polls = {"count": 0}
+        monkeypatch.setattr("repro.service.worker.time.sleep", sleeps.append)
+        original_run_once = Worker.run_once
+
+        def run_once_with_late_job(self, max_jobs=0):
+            polls["count"] += 1
+            if polls["count"] == 3:
+                store.submit(_job(1))
+            return original_run_once(self, max_jobs=max_jobs)
+
+        monkeypatch.setattr(Worker, "run_once", run_once_with_late_job)
+        outcomes = Worker(store, use_cache=False).run(
+            poll_seconds=1.0, poll_max=8.0, idle_exit=3
+        )
+        assert len(outcomes) == 1
+        # sleeps: two idle polls grow the delay (1, 2), the working
+        # poll resets it (1), then the backoff restarts from the base
+        # (1, 2) until the third consecutive idle poll exits.
+        assert sleeps == [1.0, 2.0, 1.0, 1.0, 2.0]
+
+    def test_no_poll_max_keeps_constant_cadence(self, store, monkeypatch):
+        sleeps: list[float] = []
+        monkeypatch.setattr("repro.service.worker.time.sleep", sleeps.append)
+        Worker(store).run(poll_seconds=0.5, idle_exit=4)
+        assert sleeps == [0.5, 0.5, 0.5]
 
     def test_bad_runner_config_fails_before_claiming(self, store):
         # Regression: a runner-construction error discovered only after

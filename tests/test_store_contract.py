@@ -1,12 +1,14 @@
 """The job-store contract, as one executable battery.
 
-Every test in this module runs twice via the ``store_harness`` fixture:
-once against the file-backed :class:`JobStore` and once against a
+Every test in this module runs once per backend via the
+``store_harness`` fixture: against the file-backed :class:`JobStore`,
+against the transactional :class:`SqliteJobStore`, and against a
 :class:`RemoteJobStore` talking to a live in-process
-:class:`JobStoreServer` over real HTTP.  The suite *is* the claim
-protocol's contract — submit idempotency, claim exclusivity,
-owner-checked release, heartbeat refresh, stale recovery, and identical
-exception types — so a change that breaks either implementation fails
+:class:`JobStoreServer` over real HTTP fronting each of the two local
+backends.  The suite *is* the claim protocol's contract — submit
+idempotency, claim exclusivity, batch claims, owner-checked release,
+heartbeat refresh, stale recovery, checkpoint blobs, and identical
+exception types — so a change that breaks any implementation fails
 here before it reaches a fleet.
 """
 
@@ -296,7 +298,7 @@ class TestOwnerCheckedRelease:
         # would let a stale worker unlink a live claim, so both
         # owner-gated operations refuse.  Unconditional release — the
         # recovery path — still works.
-        store_harness.backing.claim_path("j1").write_text("", encoding="utf-8")
+        store_harness.tear_claim("j1")
         store = store_harness.store
         assert store.release("j1", owner="anyone") is False
         assert store.heartbeat("j1", owner="anyone") is False
@@ -328,6 +330,76 @@ class TestHeartbeat:
 
     def test_heartbeat_without_claim_reports_loss(self, store_harness):
         assert store_harness.store.heartbeat("never-claimed", owner="w") is False
+
+
+class TestClaimBatch:
+    def test_claim_batch_wins_only_queued_unclaimed(self, store_harness):
+        store = store_harness.store
+        queued = store.submit(_job(1))
+        done = store.submit(_job(2))
+        store.mark_completed(done, _result(done.job))
+        taken = store.submit(_job(3))
+        store.claim(taken.job_id, owner="someone-else")
+        won = store.claim_batch(owner="me")
+        assert [r.job_id for r in won] == [queued.job_id]
+        assert won[0].status == "queued"
+        assert store_harness.backing.claim_info(queued.job_id)["owner"] == "me"
+
+    def test_claim_batch_respects_limit_oldest_first(self, store_harness):
+        store = store_harness.store
+        records = [store.submit(_job(seed)) for seed in (1, 2, 3)]
+        by_age = sorted(records, key=lambda r: (r.submitted_at, r.job_id))
+        won = store.claim_batch(owner="w", limit=2)
+        assert [r.job_id for r in won] == [r.job_id for r in by_age[:2]]
+        assert sorted(store.claimed_job_ids()) == sorted(r.job_id for r in won)
+
+    def test_claim_batch_on_empty_queue_returns_nothing(self, store_harness):
+        assert store_harness.store.claim_batch(owner="w") == []
+
+    def test_claim_batch_never_rewins_its_own_claims(self, store_harness):
+        # claim() is idempotent per owner, but a batch pull must return
+        # only *new* wins — otherwise a polling worker is handed its own
+        # running jobs back on every pull, forever.
+        store = store_harness.store
+        record = store.submit(_job(1))
+        assert [r.job_id for r in store.claim_batch(owner="w")] == [record.job_id]
+        assert store.claim_batch(owner="w") == []
+
+    def test_two_batches_partition_the_queue(self, store_harness):
+        store = store_harness.store
+        records = [store.submit(_job(seed)) for seed in (1, 2, 3, 4)]
+        first = store.claim_batch(owner="w1", limit=3)
+        second = store.claim_batch(owner="w2")
+        won_ids = [r.job_id for r in first + second]
+        assert sorted(won_ids) == sorted(r.job_id for r in records)
+        assert len(set(won_ids)) == len(records)
+
+
+class TestCheckpointBlobs:
+    def test_missing_checkpoint_is_none(self, store_harness):
+        assert store_harness.store.get_checkpoint("nowhere") is None
+
+    def test_put_get_roundtrip(self, store_harness):
+        store = store_harness.store
+        payload = {"version": 3, "generation": 17, "rng": [1, 2, 3]}
+        store.put_checkpoint("job-a", payload)
+        assert store.get_checkpoint("job-a") == payload
+        # And the backing store agrees: the blob is durable, not
+        # client-local.
+        assert store_harness.backing.get_checkpoint("job-a") == payload
+
+    def test_owner_gated_put_requires_the_claim(self, store_harness):
+        store = store_harness.store
+        store.claim("job-b", owner="holder")
+        with pytest.raises(WorkerError, match="rejected"):
+            store.put_checkpoint("job-b", {"generation": 1}, owner="usurper")
+        store.put_checkpoint("job-b", {"generation": 2}, owner="holder")
+        assert store.get_checkpoint("job-b") == {"generation": 2}
+
+    def test_owner_gated_put_without_any_claim_refused(self, store_harness):
+        with pytest.raises(WorkerError, match="rejected"):
+            store_harness.store.put_checkpoint("job-c", {"generation": 1},
+                                               owner="anyone")
 
 
 class TestStaleRecovery:
