@@ -249,8 +249,17 @@ def _parse_seeds(args: argparse.Namespace) -> list[int]:
     return [args.seed]
 
 
+def _evaluator_stats(record) -> dict:
+    """The finished job's evaluator snapshot (empty for unfinished jobs)."""
+    if record.result is None:
+        return {}
+    stats = record.result.extras.get("evaluator_stats")
+    return stats if isinstance(stats, dict) else {}
+
+
 def _result_row(record) -> list[object]:
     result = record.result
+    stats = _evaluator_stats(record)
     return [
         record.job_id,
         record.job.dataset,
@@ -260,11 +269,13 @@ def _result_row(record) -> list[object]:
         f"{result.best_score:.4f}" if result else "-",
         result.fresh_evaluations if result else "-",
         result.persistent_hits if result else "-",
+        stats.get("batch_dedup", "-") if result else "-",
         f"{result.wall_seconds:.1f}s" if result else "-",
     ]
 
 
-_STATUS_HEADER = ["job", "dataset", "score", "gens", "status", "best", "fresh", "cached", "wall"]
+_STATUS_HEADER = ["job", "dataset", "score", "gens", "status", "best", "fresh",
+                  "cached", "dedup", "wall"]
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -278,6 +289,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         generations=args.generations,
         seed=args.seed,
         drop_best_fraction=args.drop_best,
+        eval_workers=args.eval_workers,
+        eval_backend=args.eval_backend,
     )
     jobs = [base.with_seed(seed) for seed in _parse_seeds(args)]
     # The cadence rides in the initial queued write so a worker that
@@ -396,6 +409,14 @@ def cmd_status(args: argparse.Namespace) -> int:
         print(format_table(header, [row], title=record.job_id))
         if record.error:
             print(f"error: {record.error}")
+        stats = _evaluator_stats(record)
+        if stats:
+            print("evaluator: " + ", ".join(
+                f"{key}={stats[key]}"
+                for key in ("evaluations", "memo_hits", "persistent_hits",
+                            "batch_dedup")
+                if key in stats
+            ))
         if record.result and record.result.checkpoint_path:
             print(f"checkpoint: {record.result.checkpoint_path}")
         return 0
@@ -484,6 +505,8 @@ def cmd_worker(args: argparse.Namespace) -> int:
         stale_after=args.stale_after,
         capacity=args.capacity,
         heartbeat_every=args.heartbeat_every,
+        eval_workers=args.eval_workers,
+        eval_backend=args.eval_backend,
     )
     if args.once:
         outcomes = worker.run_once(max_jobs=args.max_jobs)
@@ -667,6 +690,18 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--no-cache", action="store_true",
                         help="skip the persistent evaluation cache")
 
+    def add_eval_options(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--eval-workers", type=int, default=0,
+                        help="parallel fitness evaluation inside each run: fan "
+                             "evaluation batches out over this many workers "
+                             "(0/1 = in-process; results are bit-identical "
+                             "at any setting)")
+        sp.add_argument("--eval-backend", default="thread",
+                        choices=["thread", "process"],
+                        help="pool type for --eval-workers (thread: shared "
+                             "memory, numpy releases the GIL; process: full "
+                             "multi-core, pays pickling per batch)")
+
     p = sub.add_parser("submit", help="submit protection jobs to the service and run them")
     p.add_argument("--dataset", required=True, choices=sorted(PAPER_SPECS))
     p.add_argument("--score", default="max", choices=["mean", "max", "weighted", "power_mean"])
@@ -679,6 +714,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--detach", action="store_true",
                    help="queue the jobs and return; execute later with 'repro worker'")
     add_service_options(p)
+    add_eval_options(p)
     p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser("worker", help="claim and execute queued jobs (see submit --detach)")
@@ -709,6 +745,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "interval up to this many seconds, reset on the first "
                         "claim (default: no backoff)")
     add_service_options(p)
+    add_eval_options(p)
     p.set_defaults(fn=cmd_worker)
 
     p = sub.add_parser("serve", help="serve a job store to remote workers over HTTP")

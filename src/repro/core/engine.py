@@ -139,11 +139,19 @@ class EvolutionaryProtector:
     # -- public API -------------------------------------------------------
 
     def evaluate_initial(self, protections: Sequence[CategoricalDataset]) -> list[Individual]:
-        """Score an initial population of protected files."""
+        """Score an initial population of protected files.
+
+        One evaluation batch: the whole population goes through
+        :meth:`~repro.metrics.evaluation.ProtectionEvaluator.evaluate_many`,
+        so duplicates are collapsed, caches are consulted in bulk, and
+        the fresh remainder is vectorized (and fanned out when the
+        evaluator has an executor).
+        """
         require_population(self.evaluator.original, protections)
+        evaluations = self.evaluator.evaluate_many(protections)
         return [
-            Individual(dataset=p, evaluation=self.evaluator.evaluate(p), origin="initial")
-            for p in protections
+            Individual(dataset=p, evaluation=evaluation, origin="initial")
+            for p, evaluation in zip(protections, evaluations)
         ]
 
     def run(
@@ -288,7 +296,9 @@ class EvolutionaryProtector:
                 name=f"gen{generation}:mut({parent.dataset.name})",
             )
             t0 = time.perf_counter()
-            child_eval = self.evaluator.evaluate(child_dataset)
+            # The mutation evaluation point emits a (singleton) batch:
+            # evaluation is pure, so the RNG stream is untouched either way.
+            (child_eval,) = self.evaluator.evaluate_many([child_dataset])
             fitness_seconds += time.perf_counter() - t0
             evaluations += 1
             child = Individual(child_dataset, child_eval, origin="mutation", birth_generation=generation)
@@ -312,8 +322,9 @@ class EvolutionaryProtector:
                 ),
             )
             t0 = time.perf_counter()
-            eval_a = self.evaluator.evaluate(child_a_data)
-            eval_b = self.evaluator.evaluate(child_b_data)
+            # Both crossover offspring are one evaluation batch: shared
+            # intermediates (and a pooled EM fit) are computed once.
+            eval_a, eval_b = self.evaluator.evaluate_many([child_a_data, child_b_data])
             fitness_seconds += time.perf_counter() - t0
             evaluations += 2
             children = (

@@ -39,7 +39,16 @@ def default_generations(fallback: int = 300) -> int:
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Full specification of one paper run."""
+    """Full specification of one paper run.
+
+    ``eval_workers`` / ``eval_backend`` configure in-run parallel
+    fitness evaluation: with ``eval_workers >= 2`` the evaluator fans
+    fresh evaluation batches out over that many ``thread`` or
+    ``process`` workers.  Evaluation is pure, so these are throughput
+    knobs only — a run's results are bit-identical whatever their
+    values (and they are excluded from job fingerprints for the same
+    reason).
+    """
 
     dataset: str
     score: str = "max"
@@ -50,11 +59,21 @@ class ExperimentConfig:
     mutation_probability: float = 0.5
     leader_fraction: float = 0.1
     selection_strategy: str = "proportional"
+    eval_workers: int = 0
+    eval_backend: str = "thread"
 
     def __post_init__(self) -> None:
         if not 0 <= self.drop_best_fraction < 1:
             raise ExperimentError(
                 f"drop_best_fraction must be in [0, 1), got {self.drop_best_fraction}"
+            )
+        if self.eval_workers < 0:
+            raise ExperimentError(
+                f"eval_workers must be >= 0, got {self.eval_workers}"
+            )
+        if self.eval_backend not in ("thread", "process"):
+            raise ExperimentError(
+                f"eval_backend must be 'thread' or 'process', got {self.eval_backend!r}"
             )
 
 
@@ -116,11 +135,18 @@ def run_experiment(
     """
     original = load_dataset(config.dataset)
     attributes = protected_attributes(config.dataset)
+    executor = None
+    if config.eval_workers >= 2:
+        # Imported lazily: the service layer sits above this module.
+        from repro.service.backends import create_backend
+
+        executor = create_backend(config.eval_backend, max_workers=config.eval_workers)
     evaluator = ProtectionEvaluator(
         original,
         attributes,
         score_function=score_function_by_name(config.score),
         persistent_cache=evaluation_cache,
+        executor=executor,
     )
     engine = EvolutionaryProtector(
         evaluator,

@@ -17,14 +17,24 @@ whole approach (its §3.2 timing paragraph and §4 "major drawback"), so
 this module is the reproduction's main answer to that bottleneck; the
 measures in :mod:`repro.metrics.linkage_risk` route through it.
 
-A one-slot memo keyed by the (original, masked, attributes) fingerprints
-lets the three measures of one evaluation share a single
-:class:`CompressedPair`.  The memo is deliberately tiny (the GA evaluates
-one candidate at a time) and not thread-safe.
+Two layers of sharing keep repeated evaluations cheap:
+
+* an :class:`OriginalIndex` holds everything that depends only on the
+  original file and the attribute set — the distinct original tuples,
+  the per-record inverse, per-tuple record counts, and the rank-position
+  tables — computed once per (original, attributes) and reused by every
+  candidate of a run (the GA scores thousands against one original);
+* a bounded, thread-local memo keyed by the (original, masked,
+  attributes) fingerprints lets the three linkage measures of one
+  evaluation — and all candidates of one evaluation batch — share their
+  :class:`CompressedPair` objects.  Thread-locality makes the memo safe
+  under the batch evaluator's thread executor without any locking.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from collections.abc import Sequence
 
 import numpy as np
@@ -49,6 +59,71 @@ def _encode_tuples(codes: np.ndarray, sizes: Sequence[int]) -> np.ndarray:
     return flat
 
 
+def _decode_tuples(keys: np.ndarray, sizes: Sequence[int]) -> np.ndarray:
+    """Inverse of :func:`_encode_tuples`: int64 keys back to code tuples."""
+    out = np.empty((keys.shape[0], len(sizes)), dtype=np.int64)
+    remaining = keys.copy()
+    for column in range(len(sizes) - 1, -1, -1):
+        out[:, column] = remaining % sizes[column]
+        remaining //= sizes[column]
+    return out
+
+
+class OriginalIndex:
+    """Original-side linkage geometry of one (original, attributes) binding.
+
+    Everything here depends only on the original file: the distinct
+    quasi-identifier tuples, each record's tuple index, how many records
+    carry each tuple, and the rank-position table of every attribute.
+    The GA evaluates thousands of candidates against one original, so
+    computing this once per run instead of once per candidate removes a
+    per-evaluation ``np.unique`` over the original plus one
+    ``rank_positions`` pass per attribute per candidate.
+    """
+
+    def __init__(self, original: CategoricalDataset, attributes: Sequence[str]) -> None:
+        columns = require_attributes(original, attributes)
+        if not columns:
+            raise LinkageError("linkage needs at least one attribute")
+        self.original = original
+        self.attributes = tuple(attributes)
+        self.columns = tuple(columns)
+        self.domains = [original.schema.domain(c) for c in columns]
+        self.sizes = [d.size for d in self.domains]
+        keys_original = _encode_tuples(original.codes[:, columns], self.sizes)
+        unique_keys_o, self.inverse_original = np.unique(keys_original, return_inverse=True)
+        self.unique_original = _decode_tuples(unique_keys_o, self.sizes)
+        #: Records per distinct original tuple (PRL's pattern weighting).
+        self.counts_original = np.bincount(self.inverse_original).astype(np.float64)
+        #: Rank-position table per attribute, in ``columns`` order.
+        self.rank_tables = [rank_positions(original, d.name) for d in self.domains]
+
+
+#: Bound on cached original indexes; distinct originals per process are
+#: few (one per dataset under evaluation), so this is a leak guard.
+_INDEX_CAPACITY = 8
+_INDEX_LOCK = threading.Lock()
+_INDEX_MEMO: OrderedDict[tuple, OriginalIndex] = OrderedDict()
+
+
+def get_original_index(
+    original: CategoricalDataset, attributes: Sequence[str]
+) -> OriginalIndex:
+    """The shared, memoized :class:`OriginalIndex` for this binding."""
+    key = (original.fingerprint(), tuple(attributes))
+    with _INDEX_LOCK:
+        index = _INDEX_MEMO.get(key)
+        if index is not None:
+            _INDEX_MEMO.move_to_end(key)
+            return index
+    index = OriginalIndex(original, attributes)
+    with _INDEX_LOCK:
+        _INDEX_MEMO[key] = index
+        while len(_INDEX_MEMO) > _INDEX_CAPACITY:
+            _INDEX_MEMO.popitem(last=False)
+    return index
+
+
 class CompressedPair:
     """Distinct-tuple view of an (original, masked) file pair.
 
@@ -67,39 +142,28 @@ class CompressedPair:
         original: CategoricalDataset,
         masked: CategoricalDataset,
         attributes: Sequence[str],
+        index: OriginalIndex | None = None,
     ) -> None:
         require_masked_pair(original, masked)
-        columns = require_attributes(original, attributes)
-        if not columns:
-            raise LinkageError("linkage needs at least one attribute")
+        if index is None:
+            index = OriginalIndex(original, attributes)
+        self.index = index
         self.original = original
         self.masked = masked
         self.attributes = tuple(attributes)
-        self.columns = tuple(columns)
-        self.domains = [original.schema.domain(c) for c in columns]
-        sizes = [d.size for d in self.domains]
+        self.columns = index.columns
+        self.domains = index.domains
+        sizes = index.sizes
 
-        codes_original = original.codes[:, columns]
-        codes_masked = masked.codes[:, columns]
-        keys_original = _encode_tuples(codes_original, sizes)
-        keys_masked = _encode_tuples(codes_masked, sizes)
+        self.inverse_original = index.inverse_original
+        self.unique_original = index.unique_original
 
-        unique_keys_o, self.inverse_original = np.unique(keys_original, return_inverse=True)
+        keys_masked = _encode_tuples(masked.codes[:, list(self.columns)], sizes)
         unique_keys_m, self.inverse_masked, counts = np.unique(
             keys_masked, return_inverse=True, return_counts=True
         )
         self.counts_masked = counts.astype(np.float64)
-        self.unique_original = self._decode(unique_keys_o, sizes)
-        self.unique_masked = self._decode(unique_keys_m, sizes)
-
-    @staticmethod
-    def _decode(keys: np.ndarray, sizes: Sequence[int]) -> np.ndarray:
-        out = np.empty((keys.shape[0], len(sizes)), dtype=np.int64)
-        remaining = keys.copy()
-        for column in range(len(sizes) - 1, -1, -1):
-            out[:, column] = remaining % sizes[column]
-            remaining //= sizes[column]
-        return out
+        self.unique_masked = _decode_tuples(unique_keys_m, sizes)
 
     @property
     def n_records(self) -> int:
@@ -121,13 +185,24 @@ class CompressedPair:
         return total
 
     def pattern_grid(self) -> np.ndarray:
-        """Agreement-pattern index between distinct tuple pairs, (u_o, u_m)."""
+        """Agreement-pattern index between distinct tuple pairs, (u_o, u_m).
+
+        Cached on the pair because the PRL path needs it twice
+        (aggregating the pattern counts, then scoring under the fitted
+        weights); the second consumer releases it — see
+        :meth:`probabilistic_linkage_from_weights` — so pairs parked in
+        the memo don't pin an O(u_o * u_m) grid each.
+        """
+        cached = getattr(self, "_pattern_grid", None)
+        if cached is not None:
+            return cached
         patterns = np.zeros(
             (self.unique_original.shape[0], self.unique_masked.shape[0]), dtype=np.int64
         )
         for bit in range(len(self.domains)):
             agree = self.unique_original[:, bit][:, None] == self.unique_masked[:, bit][None, :]
             patterns |= agree.astype(np.int64) << bit
+        self._pattern_grid = patterns
         return patterns
 
     def rank_score_grid(self, window: float) -> np.ndarray:
@@ -137,8 +212,8 @@ class CompressedPair:
         scores = np.zeros(
             (self.unique_original.shape[0], self.unique_masked.shape[0]), dtype=np.int64
         )
-        for slot, domain in enumerate(self.domains):
-            positions = rank_positions(self.original, domain.name)
+        for slot in range(len(self.domains)):
+            positions = self.index.rank_tables[slot]
             x = positions[self.unique_original[:, slot]][:, None]
             y = positions[self.unique_masked[:, slot]][None, :]
             scores += (np.abs(x - y) <= window).astype(np.int64)
@@ -169,18 +244,31 @@ class CompressedPair:
         correct = self.fractional_correct(self.distance_grid(), best_is_max=False)
         return 100.0 * correct / self.n_records
 
+    def pattern_counts(self) -> np.ndarray:
+        """Aggregated agreement-pattern counts over all record pairs."""
+        patterns = self.pattern_grid()
+        weights = np.outer(self.index.counts_original, self.counts_masked)
+        return np.bincount(
+            patterns.ravel(), weights=weights.ravel(), minlength=2 ** len(self.domains)
+        )
+
     def probabilistic_linkage(self) -> float:
         """PRL re-identification percentage (identical to the n^2 path)."""
-        patterns = self.pattern_grid()
-        weights = np.outer(
-            np.bincount(self.inverse_original).astype(np.float64), self.counts_masked
-        )
-        n_attributes = len(self.domains)
-        pattern_counts = np.bincount(
-            patterns.ravel(), weights=weights.ravel(), minlength=2**n_attributes
-        )
-        model = fit_fellegi_sunter(pattern_counts, n_attributes)
-        grid = model.pattern_weights[patterns]
+        model = fit_fellegi_sunter(self.pattern_counts(), len(self.domains))
+        return self.probabilistic_linkage_from_weights(model.pattern_weights)
+
+    def probabilistic_linkage_from_weights(self, pattern_weights: np.ndarray) -> float:
+        """PRL percentage under an already-fitted weight table.
+
+        The batch evaluator fits one EM over the whole candidate batch
+        (see :func:`repro.linkage.prl.fit_fellegi_sunter_many`) and then
+        scores each pair with its own weight row through here.  This is
+        the pattern grid's last consumer in an evaluation, so the cached
+        grid is released — a pair living on in the memo keeps only its
+        small distinct-tuple matrices.
+        """
+        grid = pattern_weights[self.pattern_grid()]
+        self._pattern_grid = None
         correct = self.fractional_correct(grid, best_is_max=True)
         return 100.0 * correct / self.n_records
 
@@ -191,7 +279,16 @@ class CompressedPair:
         return 100.0 * correct / self.n_records
 
 
-_MEMO: dict[str, object] = {"key": None, "pair": None}
+#: Per-thread pair memo bound — large enough that one evaluation batch's
+#: candidates survive all three linkage measures' passes over the batch.
+_PAIR_CAPACITY = 256
+_PAIR_MEMO = threading.local()
+
+
+def clear_pair_memo() -> None:
+    """Drop this thread's pair memo (benchmark/test hook for cold timings)."""
+    if getattr(_PAIR_MEMO, "pairs", None) is not None:
+        _PAIR_MEMO.pairs = OrderedDict()
 
 
 def get_compressed_pair(
@@ -199,11 +296,28 @@ def get_compressed_pair(
     masked: CategoricalDataset,
     attributes: Sequence[str],
 ) -> CompressedPair:
-    """One-slot memo so one evaluation's measures share a CompressedPair."""
+    """Bounded thread-local memo so measures share :class:`CompressedPair` objects.
+
+    Within one candidate evaluation the three linkage measures hit the
+    same pair; within one evaluation batch each measure's pass over the
+    candidates re-hits the pairs the first measure built.  Thread-local
+    storage keeps the memo coherent under the batch evaluator's thread
+    executor without locking (each worker thread evaluates disjoint
+    candidates, so sharing across threads would buy nothing).
+    """
+    memo: OrderedDict[tuple, CompressedPair] | None
+    memo = getattr(_PAIR_MEMO, "pairs", None)
+    if memo is None:
+        memo = _PAIR_MEMO.pairs = OrderedDict()
     key = (original.fingerprint(), masked.fingerprint(), tuple(attributes))
-    if _MEMO["key"] == key:
-        return _MEMO["pair"]  # type: ignore[return-value]
-    pair = CompressedPair(original, masked, attributes)
-    _MEMO["key"] = key
-    _MEMO["pair"] = pair
+    pair = memo.get(key)
+    if pair is not None:
+        memo.move_to_end(key)
+        return pair
+    pair = CompressedPair(
+        original, masked, attributes, index=get_original_index(original, attributes)
+    )
+    memo[key] = pair
+    while len(memo) > _PAIR_CAPACITY:
+        memo.popitem(last=False)
     return pair

@@ -79,55 +79,179 @@ def _pattern_bits(n_attributes: int) -> np.ndarray:
     return (patterns[:, None] >> np.arange(n_attributes)[None, :]) & 1
 
 
+def _bits_dot(bits: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """``out[b, p] = sum_k bits[p, k] * values[b, k]``, candidate-independent.
+
+    Deliberately einsum, not matmul: BLAS is free to reorder the
+    accumulation per call shape, so a batched matmul need not reproduce
+    its own single-row result bit for bit.  einsum's default (non-BLAS)
+    kernel computes each output element from its own row with a fixed
+    summation order, whatever the batch size.
+    """
+    return np.einsum("pk,bk->bp", bits, values)
+
+
+def _counts_dot_bits(counts: np.ndarray, bits: np.ndarray) -> np.ndarray:
+    """``out[b, k] = sum_p counts[b, p] * bits[p, k]``, candidate-independent."""
+    return np.einsum("bp,pk->bk", counts, bits)
+
+
+def _pattern_logliks(bits: np.ndarray, probabilities: np.ndarray) -> np.ndarray:
+    """Per-pattern log-likelihoods ``(B, P)`` under agree-probabilities ``(B, a)``."""
+    return _bits_dot(bits, np.log(probabilities + _EPS)) + _bits_dot(
+        1 - bits, np.log(1 - probabilities + _EPS)
+    )
+
+
+@dataclass(frozen=True)
+class BatchFellegiSunterModel:
+    """Fellegi–Sunter parameters for a whole batch of candidate files."""
+
+    m: np.ndarray  # (B, a)
+    u: np.ndarray  # (B, a)
+    match_proportion: np.ndarray  # (B,)
+    pattern_weights: np.ndarray  # (B, 2^a)
+
+    def __len__(self) -> int:
+        return self.m.shape[0]
+
+    def single(self, index: int) -> FellegiSunterModel:
+        """The scalar view of one batch member."""
+        return FellegiSunterModel(
+            m=self.m[index],
+            u=self.u[index],
+            match_proportion=float(self.match_proportion[index]),
+            pattern_weights=self.pattern_weights[index],
+        )
+
+
+def fit_fellegi_sunter_many(
+    pattern_counts: np.ndarray,
+    n_attributes: int,
+    max_iterations: int = 200,
+    tolerance: float = 1e-8,
+) -> BatchFellegiSunterModel:
+    """EM fit over a ``(B, 2^a)`` batch of aggregated pattern counts.
+
+    This is the primary implementation — :func:`fit_fellegi_sunter` is
+    its ``B == 1`` wrapper.  Every operation is elementwise over the
+    batch or a per-row reduction, and converged/degenerate candidates
+    are frozen by mask instead of dropping out of the loop, so each
+    candidate's parameter trajectory is exactly what a one-candidate
+    fit would produce: batching changes throughput, never results.
+    """
+    counts = np.asarray(pattern_counts, dtype=np.float64)
+    if counts.ndim != 2 or counts.shape[1] != 2**n_attributes:
+        raise LinkageError(
+            f"expected (B, {2**n_attributes}) pattern counts, got shape {counts.shape}"
+        )
+    totals = counts.sum(axis=-1)
+    if counts.shape[0] and totals.min() <= 0:
+        raise LinkageError("no record pairs to fit")
+    bits = _pattern_bits(n_attributes).astype(np.float64)
+    unbits = 1 - bits
+
+    batch = counts.shape[0]
+    # Initialization: matches agree often, non-matches rarely.
+    m = np.full((batch, n_attributes), 0.9)
+    u = np.full((batch, n_attributes), 0.1)
+    match_proportion = np.full(batch, 0.01)
+
+    previous_loglik = np.full(batch, -np.inf)
+    active = np.ones(batch, dtype=bool)
+    all_active = True
+    for _ in range(max_iterations):
+        # Compute every row, write back only active non-degenerate ones:
+        # the per-iteration arrays are tiny (numpy call overhead, not
+        # volume, is the cost), so recomputing frozen rows is cheaper
+        # than gather/scatter — and discarded work cannot move results.
+        # The m- and u-side likelihoods ride through one stacked call
+        # per ufunc for the same reason.
+        mu = np.concatenate([m, u], axis=0)
+        log_mu = _bits_dot(bits, np.log(mu + _EPS)) + _bits_dot(
+            unbits, np.log((1 - mu) + _EPS)
+        )
+        likelihood = np.exp(log_mu)
+        match_term = match_proportion[:, None] * likelihood[:batch]
+        nonmatch_term = (1 - match_proportion)[:, None] * likelihood[batch:]
+        denominator = match_term + nonmatch_term + _EPS
+        responsibility = match_term / denominator
+
+        weighted = counts * responsibility
+        weight_total = weighted.sum(axis=-1)
+        rest_total = totals - weight_total
+        # A degenerate mixture stops before updating, like the scalar
+        # ``break``; everyone else updates and then checks convergence.
+        degenerate = (weight_total <= _EPS) | (rest_total <= _EPS)
+        has_degenerate = bool(degenerate.any())
+        if has_degenerate:
+            update = active & ~degenerate
+            weight_total = np.where(weight_total <= _EPS, 1.0, weight_total)
+            rest_total = np.where(rest_total <= _EPS, 1.0, rest_total)
+        else:
+            update = active
+
+        new_mu = np.clip(
+            _counts_dot_bits(
+                np.concatenate([weighted, counts - weighted], axis=0), bits
+            )
+            / np.concatenate([weight_total, rest_total])[:, None],
+            _EPS,
+            1 - _EPS,
+        )
+        new_mp = np.clip(weight_total / totals, _EPS, 1 - _EPS)
+        loglik = np.einsum("bp,bp->b", counts, np.log(denominator))
+        if all_active and not has_degenerate:
+            m = new_mu[:batch]
+            u = new_mu[batch:]
+            match_proportion = new_mp
+            converged = np.abs(loglik - previous_loglik) < tolerance * (
+                1 + np.abs(previous_loglik)
+            )
+            previous_loglik = loglik
+            active = ~converged
+        else:
+            m = np.where(update[:, None], new_mu[:batch], m)
+            u = np.where(update[:, None], new_mu[batch:], u)
+            match_proportion = np.where(update, new_mp, match_proportion)
+            converged = np.abs(loglik - previous_loglik) < tolerance * (
+                1 + np.abs(previous_loglik)
+            )
+            previous_loglik = np.where(update, loglik, previous_loglik)
+            active = update & ~converged
+        all_active = bool(active.all())
+        if not active.any():
+            break
+
+    weights = _bits_dot(bits, np.log(m + _EPS) - np.log(u + _EPS)) + _bits_dot(
+        1 - bits, np.log(1 - m + _EPS) - np.log(1 - u + _EPS)
+    )
+    return BatchFellegiSunterModel(
+        m=m, u=u, match_proportion=match_proportion, pattern_weights=weights
+    )
+
+
 def fit_fellegi_sunter(
     pattern_counts: np.ndarray,
     n_attributes: int,
     max_iterations: int = 200,
     tolerance: float = 1e-8,
 ) -> FellegiSunterModel:
-    """EM fit of the Fellegi–Sunter mixture from aggregated pattern counts."""
+    """EM fit of the Fellegi–Sunter mixture from aggregated pattern counts.
+
+    Thin wrapper over :func:`fit_fellegi_sunter_many` with a batch of
+    one, so the scalar and batch evaluation paths share one numerical
+    trajectory.
+    """
     counts = np.asarray(pattern_counts, dtype=np.float64)
     if counts.shape != (2**n_attributes,):
         raise LinkageError(
             f"expected {2**n_attributes} pattern counts, got shape {counts.shape}"
         )
-    total = counts.sum()
-    if total <= 0:
-        raise LinkageError("no record pairs to fit")
-    bits = _pattern_bits(n_attributes).astype(np.float64)
-
-    # Initialization: matches agree often, non-matches rarely.
-    m = np.full(n_attributes, 0.9)
-    u = np.full(n_attributes, 0.1)
-    match_proportion = 0.01
-
-    previous_loglik = -np.inf
-    for _ in range(max_iterations):
-        log_m = bits @ np.log(m + _EPS) + (1 - bits) @ np.log(1 - m + _EPS)
-        log_u = bits @ np.log(u + _EPS) + (1 - bits) @ np.log(1 - u + _EPS)
-        match_term = match_proportion * np.exp(log_m)
-        nonmatch_term = (1 - match_proportion) * np.exp(log_u)
-        denominator = match_term + nonmatch_term + _EPS
-        responsibility = match_term / denominator
-
-        weighted = counts * responsibility
-        weight_total = weighted.sum()
-        if weight_total <= _EPS or total - weight_total <= _EPS:
-            break
-        m = np.clip((weighted @ bits) / weight_total, _EPS, 1 - _EPS)
-        u = np.clip(((counts - weighted) @ bits) / (total - weight_total), _EPS, 1 - _EPS)
-        match_proportion = float(np.clip(weight_total / total, _EPS, 1 - _EPS))
-
-        loglik = float((counts * np.log(denominator)).sum())
-        if abs(loglik - previous_loglik) < tolerance * (1 + abs(previous_loglik)):
-            break
-        previous_loglik = loglik
-
-    weights = (
-        bits @ (np.log(m + _EPS) - np.log(u + _EPS))
-        + (1 - bits) @ (np.log(1 - m + _EPS) - np.log(1 - u + _EPS))
+    model = fit_fellegi_sunter_many(
+        counts[None, :], n_attributes, max_iterations=max_iterations, tolerance=tolerance
     )
-    return FellegiSunterModel(m=m, u=u, match_proportion=match_proportion, pattern_weights=weights)
+    return model.single(0)
 
 
 def probabilistic_record_linkage(

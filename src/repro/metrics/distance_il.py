@@ -14,8 +14,10 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.data.dataset import CategoricalDataset
-from repro.linkage.distance import attribute_distance_columns
+from repro.linkage.distance import attribute_distance_columns, attribute_distance_tensor
 from repro.metrics.base import InformationLossMeasure
 
 
@@ -30,3 +32,16 @@ class DistanceBasedLoss(InformationLossMeasure):
     def _compute(self, masked: CategoricalDataset) -> float:
         distances = attribute_distance_columns(self.original, masked, self.attributes)
         return 100.0 * float(distances.mean())
+
+    def _compute_many(self, batch: Sequence[CategoricalDataset]) -> np.ndarray:
+        """Batched DBIL over one shared ``(B, n, a)`` distance tensor.
+
+        Each candidate's mean is taken over its own contiguous slice —
+        the very array the scalar path computes — so the values match it
+        bit for bit.
+        """
+        tensor = attribute_distance_tensor(self.original, batch, self.attributes)
+        return np.array(
+            [100.0 * float(tensor[index].mean()) for index in range(len(batch))],
+            dtype=np.float64,
+        )

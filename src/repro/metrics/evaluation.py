@@ -13,6 +13,16 @@ the candidate's content fingerprint: the GA repeatedly re-scores
 surviving individuals, and the paper itself notes that fitness dominates
 the run time, so the cache is the single most important performance
 lever of the reproduction.
+
+The evaluator is *batch-first*: :meth:`ProtectionEvaluator.evaluate_many`
+dedupes a candidate batch by fingerprint, consults the in-memory memo
+and the persistent cache in bulk, and pushes only the fresh remainder
+through the measures' vectorized batch kernels — optionally fanned out
+over a pluggable executor (any object with the
+:class:`repro.service.backends.ExecutionBackend` ``map`` surface).
+Evaluation is pure, so ``evaluate_many`` returns exactly what mapping
+:meth:`ProtectionEvaluator.evaluate` would, whatever the batch
+composition or worker count.
 """
 
 from __future__ import annotations
@@ -37,6 +47,15 @@ from repro.metrics.linkage_risk import (
     RankSwappingLinkageRisk,
 )
 from repro.metrics.score import MaxScore, ScoreFunction
+
+#: Version of the metric kernels' *numerical trajectory*, salted into
+#: every persistent-cache key.  Bump it whenever a kernel change can
+#: move a result by even one ulp (e.g. the EM moving from BLAS matmul
+#: to einsum): a stale cache entry differing in the last bit from a
+#: fresh computation would otherwise break the bit-identity guarantees
+#: (cached vs fresh, resume-across-kill).  Bumping only costs warm
+#: caches a recompute.
+METRIC_KERNEL_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -83,6 +102,73 @@ class ScoreCache(Protocol):
         ...
 
 
+def _cache_get_many(cache: ScoreCache, keys: Sequence[str]) -> dict:
+    """Bulk lookup against ``cache``, via ``get_many`` when it offers one.
+
+    Stores that implement the optional bulk surface (one SELECT instead
+    of N — see :meth:`repro.service.cache.EvaluationCache.get_many`)
+    get it used; plain :class:`ScoreCache` implementations fall back to
+    a ``get`` loop with identical semantics.
+    """
+    get_many = getattr(cache, "get_many", None)
+    if callable(get_many):
+        return dict(get_many(keys))
+    found = {}
+    for key in keys:
+        score = cache.get(key)
+        if score is not None:
+            found[key] = score
+    return found
+
+
+def _cache_put_many(cache: ScoreCache, items: Sequence[tuple[str, "ProtectionScore"]]) -> None:
+    """Bulk store into ``cache``; one transaction when it offers ``put_many``."""
+    put_many = getattr(cache, "put_many", None)
+    if callable(put_many):
+        put_many(items)
+        return
+    for key, score in items:
+        cache.put(key, score)
+
+
+def _score_candidates(
+    il_measures: Sequence[InformationLossMeasure],
+    dr_measures: Sequence[DisclosureRiskMeasure],
+    score_function: ScoreFunction,
+    batch: Sequence[CategoricalDataset],
+) -> "list[ProtectionScore]":
+    """Score a batch through the measures' vectorized kernels.
+
+    Module-level (and taking the measures explicitly) so the process
+    executor can pickle it; the per-candidate aggregation mirrors the
+    scalar :meth:`ProtectionEvaluator.evaluate` arithmetic exactly.
+    """
+    il_values = [(m.measure_name, m.compute_many(batch)) for m in il_measures]
+    dr_values = [(m.measure_name, m.compute_many(batch)) for m in dr_measures]
+    results = []
+    for index in range(len(batch)):
+        il_components = {name: float(values[index]) for name, values in il_values}
+        dr_components = {name: float(values[index]) for name, values in dr_values}
+        information_loss = sum(il_components.values()) / len(il_components)
+        disclosure_risk = sum(dr_components.values()) / len(dr_components)
+        results.append(
+            ProtectionScore(
+                information_loss=information_loss,
+                disclosure_risk=disclosure_risk,
+                score=score_function(information_loss, disclosure_risk),
+                il_components=il_components,
+                dr_components=dr_components,
+            )
+        )
+    return results
+
+
+def _score_candidates_payload(payload: tuple) -> "list[ProtectionScore]":
+    """Executor entry point: unpack one chunk's payload and score it."""
+    il_measures, dr_measures, score_function, chunk = payload
+    return _score_candidates(il_measures, dr_measures, score_function, chunk)
+
+
 def default_il_measures(
     original: CategoricalDataset, attributes: Sequence[str]
 ) -> list[InformationLossMeasure]:
@@ -126,6 +212,13 @@ class ProtectionEvaluator:
         Optional :class:`ScoreCache` consulted on in-memory misses and
         fed every fresh evaluation, so repeated runs and restarted jobs
         skip already-scored candidates.
+    executor:
+        Optional evaluation executor for :meth:`evaluate_many`'s fresh
+        remainder — any object with the
+        :class:`repro.service.backends.ExecutionBackend` ``map`` surface
+        (``thread`` for numpy's GIL-releasing kernels, ``process`` for
+        full multi-core fan-out).  ``None`` evaluates in-process.
+        Evaluation is pure, so the executor never changes results.
     """
 
     def __init__(
@@ -137,6 +230,7 @@ class ProtectionEvaluator:
         score_function: ScoreFunction | None = None,
         cache_size: int = 8192,
         persistent_cache: ScoreCache | None = None,
+        executor: object | None = None,
     ) -> None:
         if cache_size < 0:
             raise MetricError(f"cache_size must be >= 0, got {cache_size}")
@@ -158,10 +252,12 @@ class ProtectionEvaluator:
         self._cache_size = cache_size
         self._cache: OrderedDict[bytes, ProtectionScore] = OrderedDict()
         self.persistent_cache = persistent_cache
+        self.executor = executor
         self._config_fingerprint: str | None = None
         self.evaluations = 0
         self.cache_hits = 0
         self.persistent_hits = 0
+        self.batch_dedup = 0
 
     @staticmethod
     def _component_signature(component: object, name: str) -> dict:
@@ -194,6 +290,7 @@ class ProtectionEvaluator:
         """
         if self._config_fingerprint is None:
             payload = {
+                "kernel": METRIC_KERNEL_VERSION,
                 "original": hashlib.sha256(self.original.fingerprint()).hexdigest(),
                 "attributes": list(self.attributes),
                 "il_measures": [
@@ -239,16 +336,11 @@ class ProtectionEvaluator:
                 self._memoize(key, stored)
                 return stored
 
-        il_components = {m.measure_name: m.compute(masked) for m in self.il_measures}
-        dr_components = {m.measure_name: m.compute(masked) for m in self.dr_measures}
-        information_loss = sum(il_components.values()) / len(il_components)
-        disclosure_risk = sum(dr_components.values()) / len(dr_components)
-        result = ProtectionScore(
-            information_loss=information_loss,
-            disclosure_risk=disclosure_risk,
-            score=self.score_function(information_loss, disclosure_risk),
-            il_components=il_components,
-            dr_components=dr_components,
+        # One implementation of the measure/aggregation arithmetic: the
+        # scalar path is a singleton batch, so the bit-for-bit contract
+        # between evaluate and evaluate_many holds by construction.
+        (result,) = _score_candidates(
+            self.il_measures, self.dr_measures, self.score_function, [masked]
         )
         self.evaluations += 1
 
@@ -256,6 +348,115 @@ class ProtectionEvaluator:
             self.persistent_cache.put(persistent_key, result)
         self._memoize(key, result)
         return result
+
+    def evaluate_many(self, batch: Sequence[CategoricalDataset]) -> list[ProtectionScore]:
+        """Score a whole batch; identical to mapping :meth:`evaluate`.
+
+        The batch pipeline, in order:
+
+        1. fingerprint every candidate and deduplicate — each distinct
+           content is scored once per batch (``batch_dedup`` counts the
+           duplicates saved);
+        2. look the distinct candidates up in the in-memory memo;
+        3. look the remainder up in the persistent cache *in bulk* (one
+           ``get_many`` round instead of N ``get`` calls);
+        4. run the fresh remainder through the measures' vectorized
+           batch kernels — in-process, or chunked over ``executor``;
+        5. store fresh scores back (bulk ``put_many``) and fan results
+           out to the original batch positions.
+
+        Counter semantics match the scalar path per *distinct*
+        candidate: ``evaluations`` counts fresh scorings, ``cache_hits``
+        memo hits, ``persistent_hits`` store hits.  Within-batch
+        duplicates land in ``batch_dedup`` instead of ``cache_hits``
+        (the scalar loop would have re-hit the memo for them).
+        """
+        candidates = list(batch)
+        if not candidates:
+            return []
+        slots: dict[bytes, list[int]] = {}
+        for position, masked in enumerate(candidates):
+            slots.setdefault(masked.fingerprint(), []).append(position)
+        self.batch_dedup += len(candidates) - len(slots)
+
+        resolved: dict[bytes, ProtectionScore] = {}
+        missing: list[bytes] = []
+        for key in slots:
+            if self._cache_size:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self.cache_hits += 1
+                    resolved[key] = cached
+                    continue
+            missing.append(key)
+
+        if self.persistent_cache is not None and missing:
+            persistent_keys = {key: self._persistent_key(key) for key in missing}
+            stored = _cache_get_many(
+                self.persistent_cache, [persistent_keys[key] for key in missing]
+            )
+            still_missing = []
+            for key in missing:
+                score = stored.get(persistent_keys[key])
+                if score is not None:
+                    self.persistent_hits += 1
+                    self._memoize(key, score)
+                    resolved[key] = score
+                else:
+                    still_missing.append(key)
+            missing = still_missing
+
+        if missing:
+            fresh_candidates = [candidates[slots[key][0]] for key in missing]
+            fresh_scores = self._evaluate_fresh(fresh_candidates)
+            self.evaluations += len(missing)
+            if self.persistent_cache is not None:
+                _cache_put_many(
+                    self.persistent_cache,
+                    [
+                        (self._persistent_key(key), score)
+                        for key, score in zip(missing, fresh_scores)
+                    ],
+                )
+            for key, score in zip(missing, fresh_scores):
+                self._memoize(key, score)
+                resolved[key] = score
+
+        results: list[ProtectionScore | None] = [None] * len(candidates)
+        for key, positions in slots.items():
+            score = resolved[key]
+            for position in positions:
+                results[position] = score
+        return results  # type: ignore[return-value]
+
+    def _evaluate_fresh(self, candidates: list[CategoricalDataset]) -> list[ProtectionScore]:
+        """Run fresh candidates through the batch kernels, maybe in parallel.
+
+        Chunks the batch across the executor's workers; a chunk is the
+        unit a worker vectorizes over, and chunk boundaries never change
+        results (every batch kernel is candidate-independent).  Batches
+        of one, or evaluators without an executor, score in-process.
+        """
+        executor = self.executor
+        if executor is None or len(candidates) < 2:
+            return _score_candidates(
+                self.il_measures, self.dr_measures, self.score_function, candidates
+            )
+        import os
+
+        workers = getattr(executor, "max_workers", None) or os.cpu_count() or 1
+        chunk_size = max(1, -(-len(candidates) // workers))
+        chunks = [
+            candidates[start : start + chunk_size]
+            for start in range(0, len(candidates), chunk_size)
+        ]
+        payloads = [
+            (self.il_measures, self.dr_measures, self.score_function, chunk)
+            for chunk in chunks
+        ]
+        scored = executor.map(_score_candidates_payload, payloads)
+        return [score for chunk_scores in scored for score in chunk_scores]
 
     def _memoize(self, key: bytes, result: ProtectionScore) -> None:
         if not self._cache_size:
@@ -277,6 +478,24 @@ class ProtectionEvaluator:
             il_components=dict(score.il_components),
             dr_components=dict(score.dr_components),
         )
+
+    def stats(self) -> dict[str, int]:
+        """Evaluation-work snapshot, consistent across scalar and batch paths.
+
+        ``evaluations`` counts fresh metric computations, ``memo_hits``
+        in-memory cache hits, ``persistent_hits`` persistent-store hits
+        — each per *distinct* candidate, whichever path scored it.
+        ``batch_dedup`` counts the within-batch duplicates
+        :meth:`evaluate_many` collapsed before any cache was consulted
+        (the batch path's equivalent of the memo hits a scalar loop
+        would have recorded for them).
+        """
+        return {
+            "evaluations": self.evaluations,
+            "memo_hits": self.cache_hits,
+            "persistent_hits": self.persistent_hits,
+            "batch_dedup": self.batch_dedup,
+        }
 
     def cache_info(self) -> dict[str, int]:
         """Cache statistics: size, capacity, hits, misses (= evaluations)."""

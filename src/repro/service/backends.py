@@ -51,16 +51,48 @@ class SerialBackend(ExecutionBackend):
 
 
 class _PoolBackend(ExecutionBackend):
-    """Shared sizing logic of the two pool-based backends."""
+    """Shared pool plumbing of the two pool-based backends.
+
+    The pool is created lazily on the first :meth:`map` and *reused*
+    across calls: callers like the batch evaluator map one small batch
+    per GA generation, and paying a pool spawn (for processes, a fork
+    plus interpreter start) per batch would dwarf the work itself.
+    Both executors start their workers on demand, so a large
+    ``max_workers`` with small batches never over-spawns.  ``close()``
+    tears the pool down; an unclosed pool is reaped when the backend is
+    garbage-collected or at interpreter exit.
+    """
+
+    _executor_factory: Callable = None  # type: ignore[assignment]
 
     def __init__(self, max_workers: int | None = None) -> None:
         if max_workers is not None and max_workers < 1:
             raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+        self._pool = None
 
-    def _workers(self, n_items: int) -> int:
-        limit = self.max_workers or os.cpu_count() or 1
-        return max(1, min(limit, n_items))
+    def _ensure_pool(self):
+        if self._pool is None:
+            size = self.max_workers or os.cpu_count() or 1
+            self._pool = type(self)._executor_factory(max_workers=size)
+        return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        if not items:
+            return []
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); the next map re-creates it."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "_PoolBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(max_workers={self.max_workers})"
@@ -70,24 +102,14 @@ class ThreadBackend(_PoolBackend):
     """Thread-pool execution; shares memory, overlaps GIL-releasing work."""
 
     name = "thread"
-
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        if not items:
-            return []
-        with ThreadPoolExecutor(max_workers=self._workers(len(items))) as pool:
-            return list(pool.map(fn, items))
+    _executor_factory = ThreadPoolExecutor
 
 
 class ProcessBackend(_PoolBackend):
     """Process-pool execution; full parallelism, picklable payloads only."""
 
     name = "process"
-
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        if not items:
-            return []
-        with ProcessPoolExecutor(max_workers=self._workers(len(items))) as pool:
-            return list(pool.map(fn, items))
+    _executor_factory = ProcessPoolExecutor
 
 
 BACKENDS: dict[str, type[ExecutionBackend]] = {

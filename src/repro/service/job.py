@@ -40,10 +40,27 @@ class ProtectionJob:
     mutation_probability: float = 0.5
     leader_fraction: float = 0.1
     selection_strategy: str = "proportional"
+    eval_workers: int = 0
+    eval_backend: str = "thread"
+
+    #: Pure throughput knobs: evaluation is pure, so these can never
+    #: change a run's results and must not change its identity — the
+    #: same job run with 1 or 8 evaluation workers is the same job (and
+    #: old stores' fingerprints stay valid).
+    _EXECUTION_FIELDS = frozenset({"eval_workers", "eval_backend"})
 
     def fingerprint(self) -> str:
-        """Stable content hash: equal jobs hash equal, always."""
-        blob = json.dumps(asdict(self), sort_keys=True).encode("utf-8")
+        """Stable content hash: equal jobs hash equal, always.
+
+        Covers every field that can change the run's results; execution
+        fields (:attr:`_EXECUTION_FIELDS`) are excluded.
+        """
+        payload = {
+            key: value
+            for key, value in asdict(self).items()
+            if key not in self._EXECUTION_FIELDS
+        }
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()
 
     @property

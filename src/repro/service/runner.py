@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.data.dataset import CategoricalDataset
 from repro.datasets.registry import load_dataset
@@ -60,6 +60,7 @@ def _job_result(
         persistent_hits=evaluator.persistent_hits,
         wall_seconds=wall_seconds,
         checkpoint_path=checkpoint_path,
+        extras={"evaluator_stats": evaluator.stats()},
     )
 
 
@@ -68,8 +69,19 @@ def _execute_job(payload: dict) -> JobResult:
 
     ``payload`` is a plain dict (picklable for the process backend):
     the job's own dict plus cache / checkpoint / resume directives.
+    A runner-level ``eval_workers`` is the worker's default for jobs
+    that did not pin their own — evaluation is pure, so the override
+    can never change the job's results (or its identity).
     """
     job = ProtectionJob.from_dict(payload["job"])
+    config = job.to_config()
+    runner_eval_workers = int(payload.get("eval_workers") or 0)
+    if config.eval_workers == 0 and runner_eval_workers:
+        config = replace(
+            config,
+            eval_workers=runner_eval_workers,
+            eval_backend=str(payload.get("eval_backend") or "thread"),
+        )
     cache_path = payload.get("cache_path") or ""
     cache_max_entries = payload.get("cache_max_entries") or None
     checkpoint_path = payload.get("checkpoint_path") or ""
@@ -95,7 +107,7 @@ def _execute_job(payload: dict) -> JobResult:
     start = time.perf_counter()
     try:
         outcome = run_experiment(
-            job.to_config(),
+            config,
             evaluation_cache=cache,
             checkpoint_every=checkpoint_every if manager is not None else 0,
             on_checkpoint=manager.save if manager is not None else None,
@@ -121,7 +133,12 @@ def _execute_job_settled(payload: dict) -> dict:
 
 
 def _score_batch(payload: tuple) -> list[ProtectionScore]:
-    """Score one batch of protected files against a rebuilt evaluator."""
+    """Score one batch of protected files against a rebuilt evaluator.
+
+    Goes through :meth:`ProtectionEvaluator.evaluate_many`, so each
+    batch dedupes its candidates, consults the persistent cache in one
+    bulk round, and vectorizes the fresh remainder.
+    """
     original, protections, attributes, score_name, cache_path = payload
     cache = EvaluationCache(cache_path) if cache_path else None
     evaluator = ProtectionEvaluator(
@@ -131,7 +148,7 @@ def _score_batch(payload: tuple) -> list[ProtectionScore]:
         persistent_cache=cache,
     )
     try:
-        return [evaluator.evaluate(protection) for protection in protections]
+        return evaluator.evaluate_many(protections)
     finally:
         if cache is not None:
             cache.close()
@@ -178,6 +195,12 @@ class JobRunner:
         ``<checkpoint_dir>/<job_id>.json`` and can be resumed.
     checkpoint_every:
         Generations between checkpoint writes; 0 disables.
+    eval_workers / eval_backend:
+        Default in-run parallel-evaluation setting applied to jobs that
+        did not pin their own ``eval_workers``: with ``eval_workers >=
+        2``, each run's evaluator fans fresh evaluation batches out
+        over that many ``thread`` or ``process`` workers.  Evaluation
+        is pure — these change throughput, never results.
     """
 
     def __init__(
@@ -188,6 +211,8 @@ class JobRunner:
         cache_max_entries: int | None = None,
         checkpoint_dir: str | None = None,
         checkpoint_every: int = 0,
+        eval_workers: int = 0,
+        eval_backend: str = "thread",
     ) -> None:
         if checkpoint_every < 0:
             raise ServiceError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
@@ -195,11 +220,19 @@ class JobRunner:
             raise ServiceError(
                 f"cache_max_entries must be >= 1, got {cache_max_entries}"
             )
+        if eval_workers < 0:
+            raise ServiceError(f"eval_workers must be >= 0, got {eval_workers}")
+        if eval_backend not in ("thread", "process"):
+            raise ServiceError(
+                f"eval_backend must be 'thread' or 'process', got {eval_backend!r}"
+            )
         self.backend = create_backend(backend, max_workers)
         self.cache_path = str(cache_path) if cache_path else ""
         self.cache_max_entries = cache_max_entries
         self.checkpoint_dir = str(checkpoint_dir) if checkpoint_dir else ""
         self.checkpoint_every = checkpoint_every
+        self.eval_workers = int(eval_workers)
+        self.eval_backend = eval_backend
 
     # -- payload plumbing ---------------------------------------------------
 
@@ -219,6 +252,8 @@ class JobRunner:
             "checkpoint_path": self.checkpoint_path(job),
             "checkpoint_every": self.checkpoint_every,
             "resume": resume,
+            "eval_workers": self.eval_workers,
+            "eval_backend": self.eval_backend,
         }
 
     # -- fan-out entry points ----------------------------------------------

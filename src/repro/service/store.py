@@ -168,6 +168,11 @@ class JobStore:
         # recovery re-parse only records that actually changed since the
         # last tick instead of re-reading the whole job table.
         self._index: dict[str, tuple[int, int, str, float]] = {}
+        # Claim index: job_id -> (mtime_ns, size, payload), same scheme —
+        # claims() serves monitoring from one directory scan, re-reading
+        # only claim files whose stat changed (each heartbeat rewrite
+        # bumps mtime, so a beat is never served stale).
+        self._claims_index: dict[str, tuple[int, int, dict]] = {}
 
     @property
     def spec(self) -> str:
@@ -530,21 +535,47 @@ class JobStore:
         one round trip — instead of a ``claim_info`` per claimed job.
         A claim released between the listing and its read is skipped.
 
+        Served from a single directory scan backed by the stat-validated
+        claim index: every claim file is stat'ed (cheap), but only files
+        whose mtime/size changed since the last call are re-parsed —
+        a monitoring poll over a large fleet costs one ``scandir`` plus
+        one parse per *changed* claim, not one read per claim.
+
         Each payload gains an ``age_seconds`` field — seconds since the
         claim's last heartbeat, computed against *this store's* clock.
         Remote monitors must prefer it over doing their own arithmetic
         on ``last_seen``: their clock and the workers' need not agree.
         """
         now = time.time()
-        payloads = {}
-        for job_id in self.claimed_job_ids():
-            info = self.claim_info(job_id)
-            if info is None:
-                continue
-            last_seen = float(info.get("last_seen") or info.get("claimed_at") or 0.0)
+        suffix = ".claim"
+        entries = []
+        with os.scandir(self.claims_dir) as scan:
+            for entry in scan:
+                if entry.name.endswith(suffix):
+                    entries.append(entry)
+        fresh: dict[str, tuple[int, int, dict]] = {}
+        payloads: dict[str, dict] = {}
+        for entry in sorted(entries, key=lambda e: e.name):
+            job_id = entry.name[: -len(suffix)]
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue  # released between the scan and the stat
+            cached = self._claims_index.get(job_id)
+            if (cached is not None and cached[0] == stat.st_mtime_ns
+                    and cached[1] == stat.st_size):
+                info = cached[2]
+            else:
+                info = self.claim_info(job_id)
+                if info is None:
+                    continue
+            fresh[job_id] = (stat.st_mtime_ns, stat.st_size, info)
+            payload = dict(info)
+            last_seen = float(payload.get("last_seen") or payload.get("claimed_at") or 0.0)
             if last_seen:
-                info["age_seconds"] = max(0.0, now - last_seen)
-            payloads[job_id] = info
+                payload["age_seconds"] = max(0.0, now - last_seen)
+            payloads[job_id] = payload
+        self._claims_index = fresh
         return payloads
 
     def recover_stale_claims(self, max_age_seconds: float = 3600.0) -> list[str]:
