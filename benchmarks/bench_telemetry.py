@@ -1,0 +1,108 @@
+"""Telemetry overhead benchmark — the pure-observer cost ceiling.
+
+The observability layer's standing claim: telemetry *on* (registry
+recording, events counting, instrumented hot paths) costs less than the
+run-to-run noise floor of the evaluation pipeline.  This bench runs the
+same fresh-population ``evaluate_many`` workload in alternating A/B
+legs — telemetry disabled, telemetry enabled — and asserts on medians:
+
+* scores are byte-identical between the two states (the determinism
+  contract, cheap to re-check here);
+* the enabled median is within ``OVERHEAD_CEILING`` of the disabled
+  median.
+
+Alternating legs (ABAB...) instead of two blocks keeps thermal drift
+and cache warmup from loading one side of the comparison.  Sizes follow
+``bench_evaluation.py``: ``REPRO_BENCH_EVAL_SIZES=120`` gives the CI
+smoke run, where only toy sizes run but the ceiling is still asserted.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+
+from conftest import emit
+
+from repro import obs
+from repro.data import CategoricalDataset
+from repro.datasets import load_flare, protected_attributes
+from repro.experiments.population_builder import build_initial_population
+from repro.linkage.compressed import clear_pair_memo
+from repro.metrics import ProtectionEvaluator
+
+#: Enabled-telemetry median must stay within this factor of disabled.
+OVERHEAD_CEILING = 1.03
+#: Alternating legs per state; medians are robust to one noisy leg.
+LEGS = 5
+
+
+def _sizes() -> list[int]:
+    override = os.environ.get("REPRO_BENCH_EVAL_SIZES", "")
+    if override:
+        return [int(s) for s in override.split(",") if s.strip()]
+    return [300, 600]
+
+
+def _population(size: int) -> tuple[CategoricalDataset, list[CategoricalDataset]]:
+    full = load_flare()
+    original = CategoricalDataset(full.codes[:size], full.schema,
+                                  name=f"flare-{size}")
+    return original, build_initial_population(original, dataset_name="flare", seed=0)
+
+
+def _timed_leg(original, population, enabled: bool):
+    if enabled:
+        obs.enable()
+    else:
+        obs.disable()
+    obs.get_registry().reset()
+    clear_pair_memo()
+    evaluator = ProtectionEvaluator(original, protected_attributes("flare"))
+    start = time.perf_counter()
+    scores = evaluator.evaluate_many(population)
+    return time.perf_counter() - start, scores
+
+
+def test_bench_telemetry_overhead_below_ceiling():
+    rows = []
+    worst = 0.0
+    try:
+        for size in _sizes():
+            original, population = _population(size)
+            _timed_leg(original, population, enabled=False)  # warmup, untimed
+            off, on = [], []
+            baseline_scores = None
+            for _ in range(LEGS):
+                seconds, scores = _timed_leg(original, population, enabled=False)
+                off.append(seconds)
+                if baseline_scores is None:
+                    baseline_scores = scores
+                assert scores == baseline_scores
+                seconds, scores = _timed_leg(original, population, enabled=True)
+                on.append(seconds)
+                # Telemetry is a pure observer: identical scores either way.
+                assert scores == baseline_scores
+            ratio = statistics.median(on) / statistics.median(off)
+            worst = max(worst, ratio)
+            rows.append(
+                f"n={size:5d}  pop={len(population):4d}  "
+                f"off={statistics.median(off) * 1000:7.1f}ms  "
+                f"on={statistics.median(on) * 1000:7.1f}ms  "
+                f"overhead={100 * (ratio - 1):+5.1f}%"
+            )
+    finally:
+        obs.disable()
+        obs.get_registry().reset()
+
+    emit("telemetry overhead: evaluate_many with registry off vs on",
+         "\n".join(rows))
+    assert worst <= OVERHEAD_CEILING, (
+        f"telemetry overhead {100 * (worst - 1):.1f}% exceeds the "
+        f"{100 * (OVERHEAD_CEILING - 1):.0f}% ceiling"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runs
+    test_bench_telemetry_overhead_below_ceiling()

@@ -19,8 +19,10 @@ against the dataset's schema).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 from collections.abc import Sequence
 
 from repro.data.io import read_csv, write_csv
@@ -225,13 +227,32 @@ def _store_spec(args: argparse.Namespace) -> str:
 
 
 def _job_store(args: argparse.Namespace):
+    from repro.obs import instrument_store
     from repro.service.store import store_from_spec
 
-    return store_from_spec(
+    store = store_from_spec(
         _store_spec(args),
         token=_store_token(args),
         state_dir=getattr(args, "state_dir", "") or None,
     )
+    # Every CLI store goes through the timing proxy; it only records
+    # when a service entry point has enabled telemetry.
+    return instrument_store(store)
+
+
+def _enable_telemetry(args: argparse.Namespace, command: str) -> None:
+    """Opt this service entry point into telemetry.
+
+    The registry is off for library users; the CLI's service commands
+    are the boundary where recording becomes worthwhile.  ``--log-json``
+    additionally streams structured JSONL events to stderr, leaving
+    stdout to the human-facing tables.
+    """
+    import repro.obs as obs
+
+    obs.enable()
+    if getattr(args, "log_json", False):
+        obs.configure_events(sys.stderr, command=command)
 
 
 def _parse_seeds(args: argparse.Namespace) -> list[int]:
@@ -278,10 +299,52 @@ _STATUS_HEADER = ["job", "dataset", "score", "gens", "status", "best", "fresh",
                   "cached", "dedup", "wall"]
 
 
+def _record_payload(record, claims: dict[str, dict]) -> dict:
+    """One job's machine-readable status (the ``--json`` row).
+
+    Built from the same structs the telemetry layer uses — the
+    evaluator's :meth:`~repro.metrics.evaluation.ProtectionEvaluator.stats`
+    snapshot and the timeline summary — so scripts read fields instead
+    of scraping table columns.
+    """
+    from repro.obs import timeline_summary
+
+    payload: dict[str, object] = {
+        "job_id": record.job_id,
+        "dataset": record.job.dataset,
+        "score": record.job.score,
+        "generations": record.job.generations,
+        "seed": record.job.seed,
+        "status": record.status,
+        "submitted_at": record.submitted_at,
+        "started_at": record.started_at,
+        "finished_at": record.finished_at,
+        "error": record.error,
+    }
+    claim = claims.get(record.job_id)
+    if claim is not None:
+        payload["claim"] = claim
+    result = record.result
+    if result is not None:
+        payload["result"] = {
+            "best_score": result.best_score,
+            "best_information_loss": result.best_information_loss,
+            "best_disclosure_risk": result.best_disclosure_risk,
+            "mean_improvement_percent": result.mean_improvement_percent,
+            "wall_seconds": result.wall_seconds,
+            "evaluator_stats": _evaluator_stats(record),
+        }
+        timeline = result.extras.get("timeline")
+        if isinstance(timeline, dict):
+            payload["timeline"] = timeline_summary(timeline)
+    return payload
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
     from repro.service.job import ProtectionJob
     from repro.service.runner import JobRunner
 
+    _enable_telemetry(args, "submit")
     store = _job_store(args)
     base = ProtectionJob(
         dataset=args.dataset,
@@ -405,6 +468,16 @@ def cmd_status(args: argparse.Namespace) -> int:
     claims = store.claims()
     if args.job:
         record = store.get(args.job)
+        if args.json:
+            payload = _record_payload(record, claims)
+            if record.result is not None:
+                timeline = record.result.extras.get("timeline")
+                if isinstance(timeline, dict):
+                    # The full trace, not just the summary: --json on a
+                    # single job is the scripting face of the timeline.
+                    payload["timeline_trace"] = timeline
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
         row = _result_row(record) + _claim_cells(claims, record.job_id)
         print(format_table(header, [row], title=record.job_id))
         if record.error:
@@ -419,8 +492,13 @@ def cmd_status(args: argparse.Namespace) -> int:
             ))
         if record.result and record.result.checkpoint_path:
             print(f"checkpoint: {record.result.checkpoint_path}")
+        _print_timeline(record)
         return 0
     records = store.records()
+    if args.json:
+        print(json.dumps([_record_payload(r, claims) for r in records],
+                         indent=2, sort_keys=True))
+        return 0
     if not records:
         print(f"no jobs in {label}")
         return 0
@@ -429,10 +507,33 @@ def cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_timeline(record) -> None:
+    """Render a finished job's generation-by-generation trace."""
+    from repro.obs import TIMELINE_HEADER, timeline_rows, timeline_summary
+
+    if record.result is None:
+        return
+    timeline = record.result.extras.get("timeline")
+    if not isinstance(timeline, dict) or not timeline.get("generation"):
+        return
+    summary = timeline_summary(timeline)
+    title = (f"run timeline: {summary['generations']} generation(s), "
+             f"{summary['evaluations']} evaluation(s), "
+             f"{summary['total_seconds']:.1f}s in the GA loop")
+    if summary["stride"] > 1:
+        title += f" (trace sampled every {summary['stride']} generations)"
+    print()
+    # Long runs collapse into bucketed ranges so the trace stays one
+    # screenful; short runs print one row per generation.
+    print(format_table(TIMELINE_HEADER, timeline_rows(timeline, max_rows=40),
+                       title=title))
+
+
 def cmd_resume(args: argparse.Namespace) -> int:
     from repro.service.runner import JobRunner
     from repro.service.worker import ClaimHeartbeat, release_quietly, unique_owner
 
+    _enable_telemetry(args, "resume")
     store = _job_store(args)
     record = store.get(args.job)
     if record.status == "completed" and not args.force:
@@ -494,6 +595,7 @@ def cmd_resume(args: argparse.Namespace) -> int:
 def cmd_worker(args: argparse.Namespace) -> int:
     from repro.service.worker import Worker
 
+    _enable_telemetry(args, "worker")
     store = _job_store(args)
     worker = Worker(
         store,
@@ -508,8 +610,15 @@ def cmd_worker(args: argparse.Namespace) -> int:
         eval_workers=args.eval_workers,
         eval_backend=args.eval_backend,
     )
+    if getattr(args, "log_json", False):
+        from repro.obs import get_event_log
+
+        get_event_log().bind(worker=worker.worker_id)
     if args.once:
         outcomes = worker.run_once(max_jobs=args.max_jobs)
+        # A drain-and-exit worker still reports its telemetry before it
+        # goes (the polling loop pushes after every drain on its own).
+        worker._maybe_push_telemetry(force=True)
     else:
         outcomes = worker.run(
             poll_seconds=args.poll_seconds,
@@ -532,9 +641,11 @@ def cmd_worker(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import instrument_store
     from repro.service.netstore import JobStoreServer
     from repro.service.store import JobStore
 
+    _enable_telemetry(args, "serve")
     if args.backend == "sqlite":
         from pathlib import Path
 
@@ -553,8 +664,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if not token:
         print("warning: serving without a token; any client that can reach "
               "this port can submit and claim jobs", file=sys.stderr)
-    server = JobStoreServer(store, host=args.host, port=args.port, token=token)
+    # The served store goes through the timing proxy so every RPC's
+    # backing store op lands in repro_store_op_seconds{backend=...}.
+    server = JobStoreServer(instrument_store(store, backend=args.backend),
+                            host=args.host, port=args.port, token=token)
     print(f"serving job store {_store_label(store)} at {server.url}")
+    print(f"metrics: {server.url}/metrics (Prometheus text"
+          + (", authenticated)" if token else ")"))
     # A wildcard bind address is not routable; advertise this host's
     # name so the hint works when pasted on another machine.
     advertised = server.url
@@ -578,11 +694,23 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
     store = _job_store(args)
     with EvaluationCache(store.cache_path) as cache:
+        removed = None
         if args.clear:
             removed = cache.clear()
-            print(f"cleared {removed} cached evaluations from {store.cache_path}")
         elif args.max_entries is not None:
             removed = cache.evict(args.max_entries)
+        if args.json:
+            payload = {"cache": str(store.cache_path), "entries": len(cache)}
+            if args.clear:
+                payload["cleared"] = removed
+            elif args.max_entries is not None:
+                payload["evicted"] = removed
+                payload["bound"] = args.max_entries
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        if args.clear:
+            print(f"cleared {removed} cached evaluations from {store.cache_path}")
+        elif args.max_entries is not None:
             print(f"evicted {removed} least-recently-used evaluations "
                   f"(bound {args.max_entries})")
             print(f"entries: {len(cache)}")
@@ -590,6 +718,112 @@ def cmd_cache(args: argparse.Namespace) -> int:
             print(f"cache: {store.cache_path}")
             print(f"entries: {len(cache)}")
     return 0
+
+
+def _fleet_snapshot(store) -> dict:
+    """Live fleet state from two store round trips (records + claims).
+
+    Works against any backend, which is why it reads the store rather
+    than ``/metrics``: a file-store fleet has no metrics endpoint, but it
+    has the same records and claims.
+    """
+    now = time.time()
+    records = store.records()
+    claims = store.claims()
+    counts: dict[str, int] = {}
+    for record in records:
+        counts[record.status] = counts.get(record.status, 0) + 1
+    throughput = {}
+    for label, span in (("1m", 60.0), ("15m", 900.0), ("1h", 3600.0)):
+        done = [
+            r for r in records
+            if r.status == "completed" and r.finished_at is not None
+            and now - r.finished_at <= span
+        ]
+        throughput[label] = {
+            "completed": len(done),
+            "evaluations": sum(
+                r.result.fresh_evaluations for r in done if r.result is not None
+            ),
+            "per_minute": round(len(done) / (span / 60.0), 2),
+        }
+    running = []
+    for record in records:
+        if record.status != "running":
+            continue
+        claim = claims.get(record.job_id) or {}
+        running.append({
+            "job_id": record.job_id,
+            "dataset": record.job.dataset,
+            "owner": claim.get("owner") or "?",
+            "heartbeat_age_seconds": claim.get("age_seconds"),
+            "running_seconds": (
+                round(now - record.started_at, 1)
+                if record.started_at is not None else None
+            ),
+        })
+    workers = sorted({
+        info.get("owner") for info in claims.values() if info.get("owner")
+    })
+    return {
+        "store": str(_store_label(store)),
+        "at": now,
+        "jobs": counts,
+        "throughput": throughput,
+        "running": running,
+        "workers": workers,
+    }
+
+
+def _render_fleet(snap: dict) -> str:
+    lines = [f"fleet @ {snap['store']}  ({time.strftime('%H:%M:%S')})"]
+    counts = snap["jobs"]
+    lines.append("jobs: " + (", ".join(
+        f"{status}={count}" for status, count in sorted(counts.items())
+    ) or "none"))
+    lines.append("completed: " + ", ".join(
+        f"last {label}: {window['completed']} ({window['per_minute']}/min, "
+        f"{window['evaluations']} evals)"
+        for label, window in snap["throughput"].items()
+    ))
+    if snap["workers"]:
+        lines.append(f"workers ({len(snap['workers'])}): "
+                     + ", ".join(snap["workers"]))
+    if snap["running"]:
+        rows = [
+            [
+                job["job_id"],
+                job["dataset"],
+                job["owner"],
+                (f"{job['heartbeat_age_seconds']:.0f}s ago"
+                 if job["heartbeat_age_seconds"] is not None else "?"),
+                (f"{job['running_seconds']:.0f}s"
+                 if job["running_seconds"] is not None else "?"),
+            ]
+            for job in snap["running"]
+        ]
+        lines.append(format_table(
+            ["job", "dataset", "owner", "heartbeat", "elapsed"], rows,
+            title="running",
+        ))
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    store = _job_store(args)
+    try:
+        while True:
+            snap = _fleet_snapshot(store)
+            if args.json:
+                print(json.dumps(snap, indent=2, sort_keys=True))
+            else:
+                print(_render_fleet(snap))
+            if not args.watch:
+                return 0
+            time.sleep(args.watch)
+            print()
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_migrate(args: argparse.Namespace) -> int:
@@ -689,6 +923,9 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--workers", type=int, default=None, help="pool size cap")
         sp.add_argument("--no-cache", action="store_true",
                         help="skip the persistent evaluation cache")
+        sp.add_argument("--log-json", action="store_true",
+                        help="stream structured telemetry events to stderr, "
+                             "one JSON object per line")
 
     def add_eval_options(sp: argparse.ArgumentParser) -> None:
         sp.add_argument("--eval-workers", type=int, default=0,
@@ -762,6 +999,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: jobs.sqlite under the state dir)")
     p.add_argument("--state-dir", default="",
                    help="state directory to serve (default: $REPRO_HOME or ~/.repro)")
+    p.add_argument("--log-json", action="store_true",
+                   help="stream structured telemetry events to stderr, "
+                        "one JSON object per line")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("migrate",
@@ -777,8 +1017,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("status", help="show the service's job table")
     p.add_argument("--job", default="", help="show one job in detail")
+    p.add_argument("--json", action="store_true",
+                   help="print machine-readable job records instead of tables")
     add_store_options(p)
     p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("top", help="live fleet overview: job counts, throughput, "
+                                   "running claims, workers")
+    p.add_argument("--json", action="store_true",
+                   help="print the fleet snapshot as JSON")
+    p.add_argument("--watch", type=float, default=0.0, metavar="SECONDS",
+                   help="refresh every SECONDS until interrupted (0 = print once)")
+    add_store_options(p)
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser("resume", help="resume an interrupted job from its checkpoint")
     p.add_argument("--job", required=True)
@@ -795,6 +1046,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", default="",
                    help="job store spec whose cache to operate on "
                         "(file:DIR or sqlite:PATH)")
+    p.add_argument("--json", action="store_true",
+                   help="print cache statistics as JSON")
     p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("experiment", help="run a paper experiment end to end")

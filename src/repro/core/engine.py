@@ -40,6 +40,7 @@ from repro.data.dataset import CategoricalDataset
 from repro.data.validation import require_population
 from repro.exceptions import EvolutionError
 from repro.metrics.evaluation import ProtectionEvaluator
+from repro.obs import emit_event, get_registry
 from repro.utils.rng import as_generator
 
 
@@ -339,6 +340,26 @@ class EvolutionaryProtector:
 
         max_score, mean_score, min_score = population.score_summary()
         total_seconds = time.perf_counter() - start
+        registry = get_registry()
+        if registry.enabled:
+            # Pure observation of already-computed values: no clock reads
+            # beyond the ones the record itself needs, and no RNG access,
+            # so seeded runs stay bit-identical with telemetry on or off.
+            registry.observe("repro_engine_generation_seconds", total_seconds,
+                             operator=operator)
+            registry.inc("repro_engine_evaluations_total", evaluations,
+                         operator=operator)
+            emit_event(
+                "generation",
+                generation=generation,
+                operator=operator,
+                best=min_score,
+                mean=mean_score,
+                evaluations=evaluations,
+                fitness_seconds=round(fitness_seconds, 6),
+                total_seconds=round(total_seconds, 6),
+                accepted=accepted,
+            )
         return GenerationRecord(
             generation=generation,
             operator=operator,

@@ -31,6 +31,7 @@ from repro.data.dataset import CategoricalDataset
 from repro.data.validation import require_population
 from repro.exceptions import EvolutionError
 from repro.metrics.evaluation import ProtectionEvaluator
+from repro.obs import emit_event, get_registry
 from repro.utils.rng import as_generator
 
 
@@ -178,6 +179,11 @@ class ParetoEvolutionaryProtector:
             objectives = self._objectives(population)
             fronts = non_dominated_sort(objectives)
             front_sizes.append(int(fronts[0].size))
+            registry = get_registry()
+            if registry.enabled:
+                registry.set_gauge("repro_pareto_front_size", front_sizes[-1])
+                emit_event("pareto_generation", generation=generation,
+                           front_size=front_sizes[-1])
 
             parent_index = self._select_parent_index(fronts)
             parent = population[parent_index]

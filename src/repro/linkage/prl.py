@@ -22,6 +22,7 @@ pairs, which keeps EM instant even for thousands of records.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -31,6 +32,7 @@ from repro.data.dataset import CategoricalDataset
 from repro.data.validation import require_attributes, require_masked_pair
 from repro.exceptions import LinkageError
 from repro.linkage.dbrl import fractional_correct_links
+from repro.obs.registry import get_registry
 
 _EPS = 1e-9
 
@@ -145,6 +147,10 @@ def fit_fellegi_sunter_many(
         raise LinkageError(
             f"expected (B, {2**n_attributes}) pattern counts, got shape {counts.shape}"
         )
+    # The EM fit dominates fresh-evaluation time, so it gets its own
+    # latency series; the clock is only read when telemetry is on.
+    registry = get_registry()
+    em_start = time.perf_counter() if registry.enabled else 0.0
     totals = counts.sum(axis=-1)
     if counts.shape[0] and totals.min() <= 0:
         raise LinkageError("no record pairs to fit")
@@ -226,6 +232,8 @@ def fit_fellegi_sunter_many(
     weights = _bits_dot(bits, np.log(m + _EPS) - np.log(u + _EPS)) + _bits_dot(
         1 - bits, np.log(1 - m + _EPS) - np.log(1 - u + _EPS)
     )
+    if registry.enabled:
+        registry.observe("repro_em_fit_seconds", time.perf_counter() - em_start)
     return BatchFellegiSunterModel(
         m=m, u=u, match_proportion=match_proportion, pattern_weights=weights
     )

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from collections import OrderedDict
 from collections.abc import Sequence
 from dataclasses import dataclass, field
@@ -47,6 +48,11 @@ from repro.metrics.linkage_risk import (
     RankSwappingLinkageRisk,
 )
 from repro.metrics.score import MaxScore, ScoreFunction
+from repro.obs.registry import DEFAULT_SIZE_BUCKETS, get_registry
+
+# Batch sizes are size-shaped, not latency-shaped; pin the bucket bounds
+# before the first observation picks the seconds default.
+get_registry().declare_histogram("repro_eval_batch_size", DEFAULT_SIZE_BUCKETS)
 
 #: Version of the metric kernels' *numerical trajectory*, salted into
 #: every persistent-cache key.  Bump it whenever a kernel change can
@@ -258,6 +264,9 @@ class ProtectionEvaluator:
         self.cache_hits = 0
         self.persistent_hits = 0
         self.batch_dedup = 0
+        self.batches = 0
+        self.max_batch_size = 0
+        self.fresh_seconds = 0.0
 
     @staticmethod
     def _component_signature(component: object, name: str) -> dict:
@@ -320,11 +329,14 @@ class ProtectionEvaluator:
         """Full score for ``masked`` (memoized by content)."""
         use_fingerprint = self._cache_size or self.persistent_cache is not None
         key = masked.fingerprint() if use_fingerprint else b""
+        registry = get_registry()
         if self._cache_size:
             cached = self._cache.get(key)
             if cached is not None:
                 self._cache.move_to_end(key)
                 self.cache_hits += 1
+                if registry.enabled:
+                    registry.inc("repro_eval_memo_hits_total")
                 return cached
 
         persistent_key = ""
@@ -333,16 +345,22 @@ class ProtectionEvaluator:
             stored = self.persistent_cache.get(persistent_key)
             if stored is not None:
                 self.persistent_hits += 1
+                if registry.enabled:
+                    registry.inc("repro_eval_persistent_hits_total")
                 self._memoize(key, stored)
                 return stored
 
         # One implementation of the measure/aggregation arithmetic: the
         # scalar path is a singleton batch, so the bit-for-bit contract
         # between evaluate and evaluate_many holds by construction.
+        start = time.perf_counter()
         (result,) = _score_candidates(
             self.il_measures, self.dr_measures, self.score_function, [masked]
         )
+        self.fresh_seconds += time.perf_counter() - start
         self.evaluations += 1
+        if registry.enabled:
+            registry.inc("repro_eval_fresh_total")
 
         if self.persistent_cache is not None:
             self.persistent_cache.put(persistent_key, result)
@@ -374,22 +392,35 @@ class ProtectionEvaluator:
         candidates = list(batch)
         if not candidates:
             return []
+        registry = get_registry()
+        self.batches += 1
+        if len(candidates) > self.max_batch_size:
+            self.max_batch_size = len(candidates)
+        if registry.enabled:
+            registry.observe("repro_eval_batch_size", len(candidates))
         slots: dict[bytes, list[int]] = {}
         for position, masked in enumerate(candidates):
             slots.setdefault(masked.fingerprint(), []).append(position)
-        self.batch_dedup += len(candidates) - len(slots)
+        duplicates = len(candidates) - len(slots)
+        self.batch_dedup += duplicates
+        if registry.enabled and duplicates:
+            registry.inc("repro_eval_dedup_total", duplicates)
 
         resolved: dict[bytes, ProtectionScore] = {}
         missing: list[bytes] = []
+        memo_hits = 0
         for key in slots:
             if self._cache_size:
                 cached = self._cache.get(key)
                 if cached is not None:
                     self._cache.move_to_end(key)
-                    self.cache_hits += 1
+                    memo_hits += 1
                     resolved[key] = cached
                     continue
             missing.append(key)
+        self.cache_hits += memo_hits
+        if registry.enabled and memo_hits:
+            registry.inc("repro_eval_memo_hits_total", memo_hits)
 
         if self.persistent_cache is not None and missing:
             persistent_keys = {key: self._persistent_key(key) for key in missing}
@@ -397,20 +428,30 @@ class ProtectionEvaluator:
                 self.persistent_cache, [persistent_keys[key] for key in missing]
             )
             still_missing = []
+            persistent_hits = 0
             for key in missing:
                 score = stored.get(persistent_keys[key])
                 if score is not None:
-                    self.persistent_hits += 1
+                    persistent_hits += 1
                     self._memoize(key, score)
                     resolved[key] = score
                 else:
                     still_missing.append(key)
             missing = still_missing
+            self.persistent_hits += persistent_hits
+            if registry.enabled and persistent_hits:
+                registry.inc("repro_eval_persistent_hits_total", persistent_hits)
 
         if missing:
             fresh_candidates = [candidates[slots[key][0]] for key in missing]
+            start = time.perf_counter()
             fresh_scores = self._evaluate_fresh(fresh_candidates)
+            elapsed = time.perf_counter() - start
+            self.fresh_seconds += elapsed
             self.evaluations += len(missing)
+            if registry.enabled:
+                registry.inc("repro_eval_fresh_total", len(missing))
+                registry.observe("repro_eval_fresh_seconds", elapsed)
             if self.persistent_cache is not None:
                 _cache_put_many(
                     self.persistent_cache,
@@ -488,13 +529,20 @@ class ProtectionEvaluator:
         ``batch_dedup`` counts the within-batch duplicates
         :meth:`evaluate_many` collapsed before any cache was consulted
         (the batch path's equivalent of the memo hits a scalar loop
-        would have recorded for them).
+        would have recorded for them).  ``batches`` / ``max_batch_size``
+        describe the batch-shape this evaluator saw, and
+        ``fresh_seconds`` is wall time spent inside the metric kernels
+        (the only nondeterministic value here — everything else is a
+        pure function of the evaluation stream).
         """
         return {
             "evaluations": self.evaluations,
             "memo_hits": self.cache_hits,
             "persistent_hits": self.persistent_hits,
             "batch_dedup": self.batch_dedup,
+            "batches": self.batches,
+            "max_batch_size": self.max_batch_size,
+            "fresh_seconds": round(self.fresh_seconds, 6),
         }
 
     def cache_info(self) -> dict[str, int]:

@@ -1,0 +1,69 @@
+"""Fleet-wide telemetry: metrics registry, structured events, timelines.
+
+``repro.obs`` is the observability substrate the rest of the codebase
+records into.  It is stdlib-only and sits below every other layer, so
+:mod:`repro.core`, :mod:`repro.metrics` and :mod:`repro.service` can all
+import it without cycles.  Telemetry is **off by default**: library
+users pay a single attribute check per instrumentation point until a
+CLI entry point (or a test) calls :func:`enable`.
+
+The package splits into four small pieces:
+
+* :mod:`repro.obs.registry` — thread-safe counters/gauges/histograms,
+  Prometheus text rendering, and fleet snapshot ingest.
+* :mod:`repro.obs.events` — the JSONL structured event log behind
+  ``--log-json``.
+* :mod:`repro.obs.instrument` — the store-op timing proxy.
+* :mod:`repro.obs.timeline` — per-job generation-by-generation traces
+  persisted through ``JobResult.extras``.
+"""
+
+from repro.obs.events import (
+    EventLog,
+    configure_events,
+    emit_event,
+    get_event_log,
+)
+from repro.obs.instrument import (
+    InstrumentedStore,
+    instrument_store,
+    store_backend_label,
+)
+from repro.obs.registry import (
+    DEFAULT_SECONDS_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    MetricsRegistry,
+    disable,
+    enable,
+    escape_label_value,
+    get_registry,
+    is_enabled,
+)
+from repro.obs.timeline import (
+    TIMELINE_HEADER,
+    timeline_from_history,
+    timeline_rows,
+    timeline_summary,
+)
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "EventLog",
+    "InstrumentedStore",
+    "MetricsRegistry",
+    "TIMELINE_HEADER",
+    "configure_events",
+    "disable",
+    "emit_event",
+    "enable",
+    "escape_label_value",
+    "get_event_log",
+    "get_registry",
+    "instrument_store",
+    "is_enabled",
+    "store_backend_label",
+    "timeline_from_history",
+    "timeline_rows",
+    "timeline_summary",
+]

@@ -1,0 +1,114 @@
+"""Structured run events: one JSON object per line, machine-first.
+
+The event log is the narrative half of the telemetry layer: where the
+registry answers "how many / how fast", events answer "what happened,
+when, to which job".  Every event is one JSON line::
+
+    {"ts": 1754550000.123, "event": "job_completed",
+     "job_id": "adult-s42-ab12cd34ef", "worker": "host-71-a1b2c3", ...}
+
+``ts`` is wall-clock epoch seconds, ``event`` the typed name; all other
+fields are event-specific, flat, and JSON-scalar so downstream tooling
+(``jq``, log shippers) never needs schema negotiation.  The stream is
+line-buffered and written under a lock, so concurrent threads (the
+heartbeat thread, server handler threads) never interleave bytes within
+a line.
+
+The log is disabled by default; ``--log-json`` on the service CLI
+commands routes it to stderr (keeping stdout's tables clean for humans
+and pipes).  Every emitted event also bumps the
+``repro_events_total{event=...}`` counter, and events whose name ends in
+``_error`` bump ``repro_errors_total{event=...}`` — that counter is how
+a dying heartbeat becomes visible on ``/metrics`` before its claims go
+stale.
+
+Like the registry, the event log is a pure observer: it reads clocks
+and writes bytes, never touching RNG streams, fingerprints, or results.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO
+
+from repro.obs.registry import get_registry
+
+
+class EventLog:
+    """A JSONL event sink bound to one text stream.
+
+    ``emit`` never raises: a closed pipe or full disk degrades
+    telemetry, and telemetry must never take the workload down with it.
+    Write failures are counted (``repro_errors_total{event=event_log_write_error}``)
+    so a silent sink is still visible on the metrics side.
+    """
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream
+        self._lock = threading.Lock()
+        #: Bound fields stamped onto every event this log emits
+        #: (e.g. the worker id); set once at configure time.
+        self.bound: dict[str, object] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this log has a live stream to write to."""
+        return self._stream is not None
+
+    def bind(self, **fields: object) -> "EventLog":
+        """Stamp ``fields`` onto every subsequent event (returns self)."""
+        self.bound.update(fields)
+        return self
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Write one structured event line (no-op without a stream)."""
+        registry = get_registry()
+        registry.inc("repro_events_total", event=event)
+        if event.endswith("_error"):
+            registry.inc("repro_errors_total", event=event)
+        stream = self._stream
+        if stream is None:
+            return
+        payload: dict[str, object] = {"ts": round(time.time(), 3), "event": event}
+        payload.update(self.bound)
+        payload.update(fields)
+        try:
+            line = json.dumps(payload, default=str, sort_keys=False)
+            with self._lock:
+                stream.write(line + "\n")
+                stream.flush()
+        except Exception:  # noqa: BLE001 - telemetry must never kill the job
+            registry.inc("repro_errors_total", event="event_log_write_error")
+
+    def close(self) -> None:
+        """Detach the stream (the stream itself is the caller's to close)."""
+        self._stream = None
+
+
+# -- the process-global event log --------------------------------------------
+
+_event_log = EventLog()
+
+
+def get_event_log() -> EventLog:
+    """The process-global event log every instrumented layer emits to."""
+    return _event_log
+
+
+def configure_events(stream: IO[str] | None, **bound: object) -> EventLog:
+    """Point the global event log at ``stream`` (None disables it)."""
+    global _event_log
+    _event_log = EventLog(stream).bind(**bound)
+    return _event_log
+
+
+def emit_event(event: str, **fields: object) -> None:
+    """Emit one structured event through the global log.
+
+    Counter bumps happen even without a configured stream (so error
+    events always reach ``/metrics``); the JSON line itself only flows
+    once ``--log-json`` (or :func:`configure_events`) attached a stream.
+    """
+    _event_log.emit(event, **fields)

@@ -1,0 +1,124 @@
+"""Per-job run timelines: the generation-by-generation trace of one run.
+
+A finished job already carries its full per-generation history inside
+the engine; this module turns that history into a compact, JSON-ready
+columnar blob that rides in ``JobResult.extras["timeline"]`` through
+any job store, and renders it back into the trace table ``repro status
+--job ID`` shows.  Columnar lists (one list per field, index =
+generation order) keep the JSON a fraction of the size of a list of
+per-generation objects, which matters because every store backend
+round-trips the whole record.
+
+Timing floats are rounded to microseconds — the trace is operational
+telemetry, not part of the run's deterministic result surface (scores
+are stored exactly; they *are* deterministic).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+#: Runs longer than this are stride-sampled into at most this many
+#: timeline rows, so a record's JSON stays bounded however long the run.
+MAX_TIMELINE_POINTS = 2048
+
+#: Operator short codes, the timeline's on-disk vocabulary.
+_OP_CODES = {"mutation": "m", "crossover": "c"}
+_OP_NAMES = {code: name for name, code in _OP_CODES.items()}
+
+
+def timeline_from_history(records: Sequence[object]) -> dict:
+    """Build the ``extras``-ready timeline blob from generation records.
+
+    ``records`` are :class:`repro.core.history.GenerationRecord` values
+    (duck-typed, so checkpoint-restored dicts work too).  ``stride`` is
+    1 for fully-traced runs; longer runs keep every ``stride``-th
+    generation plus the last one.
+    """
+    rows = list(records)
+    stride = 1
+    if len(rows) > MAX_TIMELINE_POINTS:
+        stride = -(-len(rows) // MAX_TIMELINE_POINTS)
+        sampled = rows[stride - 1 :: stride]
+        if sampled and sampled[-1] is not rows[-1]:
+            sampled.append(rows[-1])
+        rows = sampled
+    return {
+        "version": 1,
+        "stride": stride,
+        "generation": [int(r.generation) for r in rows],
+        "operator": "".join(_OP_CODES.get(r.operator, "?") for r in rows),
+        "best": [float(r.min_score) for r in rows],
+        "mean": [float(r.mean_score) for r in rows],
+        "evaluations": [int(r.evaluations) for r in rows],
+        "fitness_seconds": [round(float(r.fitness_seconds), 6) for r in rows],
+        "total_seconds": [
+            round(float(r.fitness_seconds) + float(r.other_seconds), 6) for r in rows
+        ],
+        "accepted": [int(bool(r.accepted)) for r in rows],
+    }
+
+
+def timeline_rows(timeline: dict, max_rows: int = 0) -> list[list[object]]:
+    """Table rows (one per traced generation) from a timeline blob.
+
+    With ``max_rows`` positive, long traces are bucketed: each printed
+    row covers a contiguous generation range, summing evaluations and
+    seconds and reporting the bucket-end best/mean (the population
+    statistics are end-of-generation snapshots, so the bucket end is
+    the truthful value).  Returns rows of
+    ``[generations, op(s), best, mean, evals, fitness, total, accepted]``.
+    """
+    generations = [int(g) for g in timeline.get("generation", [])]
+    if not generations:
+        return []
+    operators = str(timeline.get("operator", ""))
+    best = timeline.get("best", [])
+    mean = timeline.get("mean", [])
+    evaluations = timeline.get("evaluations", [])
+    fitness = timeline.get("fitness_seconds", [])
+    total = timeline.get("total_seconds", [])
+    accepted = timeline.get("accepted", [])
+
+    n = len(generations)
+    bucket = 1 if not max_rows or n <= max_rows else -(-n // max_rows)
+    rows: list[list[object]] = []
+    for start in range(0, n, bucket):
+        end = min(start + bucket, n)
+        span = generations[start:end]
+        label = str(span[0]) if len(span) == 1 and bucket == 1 else f"{span[0]}-{span[-1]}"
+        ops = operators[start:end]
+        op_label = (_OP_NAMES.get(ops, ops) if len(set(ops)) == 1 and ops
+                    else f"{ops.count('m')}m/{ops.count('c')}c")
+        rows.append([
+            label,
+            op_label,
+            f"{float(best[end - 1]):.4f}",
+            f"{float(mean[end - 1]):.4f}",
+            sum(int(e) for e in evaluations[start:end]),
+            f"{sum(float(s) for s in fitness[start:end]) * 1000:.1f}ms",
+            f"{sum(float(s) for s in total[start:end]) * 1000:.1f}ms",
+            f"{sum(int(a) for a in accepted[start:end])}/{end - start}",
+        ])
+    return rows
+
+
+TIMELINE_HEADER = ["gen", "op", "best", "mean", "evals", "fitness", "total", "accepted"]
+
+
+def timeline_summary(timeline: dict) -> dict:
+    """Headline numbers of one timeline (the ``--json`` snapshot form)."""
+    total = timeline.get("total_seconds", [])
+    fitness = timeline.get("fitness_seconds", [])
+    evaluations = timeline.get("evaluations", [])
+    generations = timeline.get("generation", [])
+    best = timeline.get("best", [])
+    return {
+        "generations": int(generations[-1]) if generations else 0,
+        "traced": len(generations),
+        "stride": int(timeline.get("stride", 1)),
+        "evaluations": sum(int(e) for e in evaluations),
+        "fitness_seconds": round(sum(float(s) for s in fitness), 6),
+        "total_seconds": round(sum(float(s) for s in total), 6),
+        "final_best": float(best[-1]) if best else None,
+    }

@@ -18,6 +18,22 @@ Wire protocol (version 1)::
                   -> 401 on a bad or missing token
     GET  /health  -> 200 {"ok": true}   (unauthenticated liveness probe)
 
+Two observability side-channels ride next to the protocol (they are
+*not* store methods, so the protocol version is untouched)::
+
+    GET  /metrics    -> Prometheus text exposition of the server's
+                        telemetry registry (authenticated like /rpc);
+                        rendered output is cached ~1s, surfaced via the
+                        ``X-Repro-Cache-Status: hit|miss`` header
+    POST /telemetry  {"source": <worker id>, "snapshot": {...}}
+                     -> ingest one worker's registry snapshot, so a
+                        single /metrics scrape shows the whole fleet
+                        (each source's series carry a ``source`` label)
+
+Every response also carries ``X-Repro-Duration`` (seconds spent in the
+handler), and each RPC dispatch lands in the
+``repro_rpc_seconds{method=...,status=...}`` histogram.
+
 Authentication is a shared token sent as ``Authorization: Bearer
 <token>`` and compared in constant time; an empty server token disables
 the check (bind such a server to localhost only).  Domain errors are
@@ -55,6 +71,7 @@ from repro.exceptions import (
     StoreUnavailableError,
     WorkerError,
 )
+from repro.obs import get_registry
 from repro.service.job import JobResult, ProtectionJob
 from repro.service.store import (
     JobRecord,
@@ -239,8 +256,23 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self._send_duration_header()
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_duration_header(self) -> None:
+        started = getattr(self, "_started", None)
+        if started is not None:
+            self.send_header("X-Repro-Duration",
+                             f"{time.perf_counter() - started:.6f}")
+
+    def _observe_rpc(self, method: str, status: int) -> None:
+        registry = get_registry()
+        started = getattr(self, "_started", None)
+        if registry.enabled and started is not None:
+            registry.observe("repro_rpc_seconds",
+                             time.perf_counter() - started,
+                             method=method, status=str(status))
 
     def _send_error_json(self, status: int, kind: str, message: str) -> None:
         self._send_json(status, {"error": {"type": kind, "message": message}})
@@ -258,17 +290,60 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         )
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path != "/health":
-            self._send_error_json(404, "ServiceError", f"no such path {self.path!r}")
+        self._started = time.perf_counter()
+        if self.path == "/health":
+            self._send_json(200, {"ok": True})
             return
-        self._send_json(200, {"ok": True})
+        if self.path == "/metrics":
+            # The registry can hold fleet-internal detail (hostnames in
+            # source labels), so scrapes authenticate exactly like RPCs.
+            if not self._authorized():
+                self.close_connection = True
+                self._send_error_json(401, "ServiceError",
+                                      "unauthorized: bad or missing store token")
+                return
+            text, cache_status = self._rendered_metrics()
+            body = text.encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("X-Repro-Cache-Status", cache_status)
+            self._send_duration_header()
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        self._send_error_json(404, "ServiceError", f"no such path {self.path!r}")
+
+    def _rendered_metrics(self) -> tuple[str, str]:
+        """The exposition text, re-rendered at most once per cache TTL.
+
+        Rendering walks every series under the registry lock; a scrape
+        storm (or a dashboard auto-refreshing several panels) would
+        otherwise contend with the hot RPC path.  Within the TTL every
+        scrape gets the cached text and a ``hit`` cache status.
+        """
+        server = self.server
+        ttl = getattr(server, "metrics_ttl", 1.0)
+        lock = getattr(server, "metrics_lock", None)
+        if lock is None:
+            return get_registry().render_prometheus(), "miss"
+        with lock:
+            rendered_at, text = server.metrics_cache  # type: ignore[attr-defined]
+            now = time.monotonic()
+            if text and now - rendered_at < ttl:
+                return text, "hit"
+            text = get_registry().render_prometheus()
+            server.metrics_cache = (now, text)  # type: ignore[attr-defined]
+            return text, "miss"
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         # Reject before reading: buffering an unauthenticated client's
         # body would hand anyone a memory-exhaustion lever.  Closing the
         # connection on rejection keeps keep-alive streams in sync
         # without draining — the unread body dies with the socket.
-        if self.path != "/rpc":
+        self._started = time.perf_counter()
+        if self.path not in ("/rpc", "/telemetry"):
             self.close_connection = True
             self._send_error_json(404, "ServiceError", f"no such path {self.path!r}")
             return
@@ -290,6 +365,9 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError):
             self._send_error_json(400, "ServiceError", "malformed request body")
             return
+        if self.path == "/telemetry":
+            self._handle_telemetry(request)
+            return
         method = request.get("method", "")
         params = request.get("params") or {}
         handler = _METHODS.get(method)
@@ -300,17 +378,37 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         try:
             result = handler(store, params)
         except ReproError as exc:
+            self._observe_rpc(method, 400)
             self._send_error_json(400, type(exc).__name__, str(exc))
             return
         except (KeyError, TypeError, ValueError) as exc:
+            self._observe_rpc(method, 400)
             self._send_error_json(400, "ServiceError",
                                   f"bad parameters for {method!r}: {exc}")
             return
         except Exception as exc:  # noqa: BLE001 - keep the server alive
+            self._observe_rpc(method, 500)
             self._send_error_json(500, "ServiceError",
                                   f"internal error: {type(exc).__name__}: {exc}")
             return
+        self._observe_rpc(method, 200)
         self._send_json(200, {"result": result})
+
+    def _handle_telemetry(self, request: dict) -> None:
+        """Ingest one worker's pushed registry snapshot.
+
+        A side-channel, not a store method: snapshots live only in the
+        server's in-memory registry (dropped when stale or on restart),
+        so the store directory and the wire protocol stay untouched.
+        """
+        source = request.get("source")
+        snapshot = request.get("snapshot")
+        if not isinstance(source, str) or not source or not isinstance(snapshot, dict):
+            self._send_error_json(400, "ServiceError",
+                                  "telemetry push needs a source and a snapshot")
+            return
+        get_registry().ingest(source, snapshot)
+        self._send_json(200, {"ok": True})
 
 
 class JobStoreServer:
@@ -337,6 +435,10 @@ class JobStoreServer:
         self._httpd.daemon_threads = True
         self._httpd.store = store  # type: ignore[attr-defined]
         self._httpd.token = token  # type: ignore[attr-defined]
+        # /metrics render cache: (monotonic rendered_at, exposition text).
+        self._httpd.metrics_lock = threading.Lock()  # type: ignore[attr-defined]
+        self._httpd.metrics_cache = (0.0, "")  # type: ignore[attr-defined]
+        self._httpd.metrics_ttl = 1.0  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
         self._serving = False
 
@@ -493,6 +595,34 @@ class RemoteJobStore:
         """Round-trip check; returns the server's protocol banner."""
         result = self._call("ping")
         return result if isinstance(result, dict) else {}
+
+    def push_telemetry(self, source: str, snapshot: dict) -> None:
+        """Push this process's registry snapshot to the server's ``/telemetry``.
+
+        An observability side-channel, deliberately outside
+        :data:`~repro.service.store.STORE_PROTOCOL`: local stores have
+        no aggregation point, and the wire protocol version does not
+        change.  One attempt, no retries — pushes are periodic and
+        cumulative, so the next one supersedes anything a retry would
+        have delivered.  Callers (the worker's throttled push loop)
+        treat failures as telemetry loss, never as job failure.
+        """
+        body = json.dumps({"source": source, "snapshot": snapshot}).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        request = urllib.request.Request(
+            f"{self.base_url}/telemetry", data=body, headers=headers, method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                response.read()
+        except urllib.error.HTTPError as exc:
+            raise _mapped_error(exc) from None
+        except (OSError, http.client.HTTPException, TimeoutError) as exc:
+            raise StoreUnavailableError(
+                f"telemetry push to {self.base_url} failed: {exc}"
+            ) from None
 
     # -- record lifecycle ----------------------------------------------------
 

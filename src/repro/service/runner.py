@@ -31,6 +31,7 @@ from repro.exceptions import ServiceError
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.metrics.evaluation import ProtectionEvaluator, ProtectionScore
 from repro.metrics.score import score_function_by_name
+from repro.obs import timeline_from_history
 from repro.service.backends import ExecutionBackend, SerialBackend, create_backend
 from repro.service.cache import EvaluationCache
 from repro.service.checkpoint import CheckpointManager
@@ -60,7 +61,12 @@ def _job_result(
         persistent_hits=evaluator.persistent_hits,
         wall_seconds=wall_seconds,
         checkpoint_path=checkpoint_path,
-        extras={"evaluator_stats": evaluator.stats()},
+        extras={
+            "evaluator_stats": evaluator.stats(),
+            # The per-generation trace rides with the result through any
+            # store backend; ``repro status --job ID`` renders it.
+            "timeline": timeline_from_history(outcome.history.records),
+        },
     )
 
 

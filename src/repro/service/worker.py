@@ -42,6 +42,7 @@ import time
 import uuid
 
 from repro.exceptions import WorkerError
+from repro.obs import emit_event, get_registry
 from repro.service.backends import create_backend
 from repro.service.checkpoint import FORMAT_VERSION
 from repro.service.runner import JobOutcome, JobRunner
@@ -66,9 +67,12 @@ class ClaimHeartbeat:
     Beats once immediately on :meth:`start` (so even a job faster than
     the interval records liveness) and then every ``interval`` seconds
     until :meth:`stop`.  A beat that fails — store briefly unreachable,
-    claim recovered from under us — is swallowed: liveness is advisory,
-    and the run loop's owner-checked marks and releases are what protect
-    correctness.
+    claim recovered from under us — never kills the thread: liveness is
+    advisory, and the run loop's owner-checked marks and releases are
+    what protect correctness.  But a *silent* dying heartbeat would only
+    surface once its claims went stale, so every failed beat is routed
+    through the event log (``heartbeat_error``) and counted in
+    ``repro_heartbeat_total{result="error"}``.
     """
 
     def __init__(self, store: JobStore, job_ids: list[str], owner: str,
@@ -83,12 +87,23 @@ class ClaimHeartbeat:
         )
 
     def _run(self) -> None:
+        registry = get_registry()
         while True:
             for job_id in self.job_ids:
                 try:
-                    self.store.heartbeat(job_id, self.owner)
-                except Exception:  # noqa: BLE001 - any dead beat < dead thread
-                    pass  # a missed beat just lets last_seen age one tick
+                    alive = self.store.heartbeat(job_id, self.owner)
+                except Exception as error:  # noqa: BLE001 - any dead beat < dead thread
+                    # A missed beat just lets last_seen age one tick —
+                    # but it must be *visible* before the claim goes stale.
+                    registry.inc("repro_heartbeat_total", result="error")
+                    emit_event("heartbeat_error", job_id=job_id,
+                               owner=self.owner, error=repr(error))
+                else:
+                    registry.inc("repro_heartbeat_total",
+                                 result="ok" if alive else "lost")
+                    if not alive:
+                        emit_event("heartbeat_lost", job_id=job_id,
+                                   owner=self.owner)
             if self._stop.wait(self.interval):
                 return
 
@@ -123,6 +138,7 @@ def claim_queued(
     with reason ``"claimed"`` (someone else holds it) or ``"not-queued"``
     (it left the queue before our claim landed).
     """
+    registry = get_registry()
     mine: list[JobRecord] = []
     held: list[str] = []
     try:
@@ -130,6 +146,7 @@ def claim_queued(
             if limit and len(mine) >= limit:
                 break
             if not store.claim(record.job_id, owner=owner):
+                registry.inc("repro_worker_claims_total", result="lost")
                 if on_skipped is not None:
                     on_skipped(record, "claimed")
                 continue
@@ -142,6 +159,7 @@ def claim_queued(
                     on_skipped(record, "not-queued")
                 continue
             mine.append(current)
+            registry.inc("repro_worker_claims_total", result="won")
     except BaseException:
         release_quietly(store, held, owner)
         raise
@@ -159,8 +177,12 @@ def release_quietly(store: JobStore, job_ids: list[str], owner: str) -> None:
     for job_id in job_ids:
         try:
             store.release(job_id, owner=owner)
-        except Exception:  # noqa: BLE001 - stale recovery is the backstop
-            pass
+        except Exception as error:  # noqa: BLE001 - stale recovery is the backstop
+            # The leak is survivable but must not be silent: the claim
+            # now only clears via stale recovery, which an operator
+            # should see coming.
+            emit_event("release_error", job_id=job_id, owner=owner,
+                       error=repr(error))
 
 
 class Worker:
@@ -255,6 +277,7 @@ class Worker:
             float(heartbeat_every) if heartbeat_every is not None
             else self.stale_after / 4.0
         )
+        self._last_telemetry_push = 0.0
         if self.heartbeat_every >= self.stale_after:
             # Beating slower than the staleness bound means this
             # worker's live jobs look abandoned and get double-executed.
@@ -300,7 +323,13 @@ class Worker:
         loop runs here over exactly those records.
         """
         if candidates is None:
-            return self.store.claim_batch(owner=self.worker_id, limit=limit)
+            batch = self.store.claim_batch(owner=self.worker_id, limit=limit)
+            if batch:
+                # claim_batch reports only wins; losses stay inside the
+                # store transaction (claim_queued counts both sides).
+                get_registry().inc("repro_worker_claims_total",
+                                   len(batch), result="won")
+            return batch
         return claim_queued(self.store, candidates, self.worker_id, limit=limit)
 
     def _run_claimed(self, records: list[JobRecord]) -> list[JobOutcome]:
@@ -333,11 +362,23 @@ class Worker:
                 settled = runner.run_settled(
                     [record.job for record in group], resume=resume
                 )
+                registry = get_registry()
                 for record, outcome in zip(group, settled):
                     if outcome.ok:
                         self.store.mark_completed(record, outcome.result)
+                        registry.inc("repro_worker_jobs_total",
+                                     outcome="completed")
+                        emit_event("job_completed", job_id=record.job_id,
+                                   worker=self.worker_id,
+                                   wall_seconds=round(
+                                       outcome.result.wall_seconds, 3))
                     else:
                         self.store.mark_failed(record, outcome.error)
+                        registry.inc("repro_worker_jobs_total",
+                                     outcome="failed")
+                        emit_event("job_failed", job_id=record.job_id,
+                                   worker=self.worker_id,
+                                   error=str(outcome.error))
                     outcomes[record.job_id] = outcome
         finally:
             beat.stop()
@@ -407,6 +448,7 @@ class Worker:
             raise WorkerError(
                 f"poll_max ({poll_max}) must be >= poll_seconds ({poll_seconds})"
             )
+        registry = get_registry()
         outcomes: list[JobOutcome] = []
         idle_polls = 0
         delay = float(poll_seconds)
@@ -414,6 +456,7 @@ class Worker:
             remaining = max_jobs - len(outcomes) if max_jobs else 0
             batch = self.run_once(max_jobs=remaining)
             outcomes.extend(batch)
+            self._maybe_push_telemetry(force=bool(batch))
             if max_jobs and len(outcomes) >= max_jobs:
                 return outcomes
             if batch:
@@ -421,11 +464,43 @@ class Worker:
                 delay = float(poll_seconds)
             else:
                 idle_polls += 1
+            registry.set_gauge("repro_worker_idle_polls", idle_polls)
+            registry.set_gauge("repro_worker_poll_delay_seconds", delay)
             if idle_exit and idle_polls >= idle_exit:
                 return outcomes
             time.sleep(delay)
             if not batch and poll_max is not None:
-                delay = min(delay * 2.0, float(poll_max))
+                widened = min(delay * 2.0, float(poll_max))
+                if widened != delay:
+                    emit_event("worker_backoff", worker=self.worker_id,
+                               delay_seconds=widened, idle_polls=idle_polls)
+                delay = widened
+
+    def _maybe_push_telemetry(self, force: bool = False,
+                              min_interval: float = 5.0) -> None:
+        """Push this worker's registry snapshot to the store, throttled.
+
+        Only fires when telemetry is enabled and the store exposes the
+        push side-channel (:class:`~repro.service.netstore.RemoteJobStore`
+        against a ``repro serve`` endpoint); local stores have nothing to
+        aggregate into.  ``force`` (after a drained batch) bypasses the
+        idle throttle so completed work shows up on the server promptly.
+        A failed push is telemetry about telemetry: counted, never raised.
+        """
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        push = getattr(self.store, "push_telemetry", None)
+        if not callable(push):
+            return
+        now = time.monotonic()
+        if not force and now - self._last_telemetry_push < min_interval:
+            return
+        self._last_telemetry_push = now
+        try:
+            push(self.worker_id, registry.snapshot())
+        except Exception:  # noqa: BLE001 - telemetry must never kill the worker
+            registry.inc("repro_errors_total", event="telemetry_push_error")
 
     def __repr__(self) -> str:
         return f"Worker({self.worker_id!r}, store={self.store!r})"

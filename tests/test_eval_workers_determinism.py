@@ -73,6 +73,61 @@ class TestEvalWorkersDeterminism:
         assert run_signature(run_with_executor(adult, protections, executor)) == serial
 
 
+class TestTelemetryDeterminism:
+    """Telemetry is a pure observer: it never moves a seeded run.
+
+    The registry and event log only read clocks and bump numbers — no
+    RNG draws, no fingerprint inputs — so the same seeded run must be
+    bit-identical with telemetry fully on (registry recording, events
+    streaming) and fully off.  This is the contract that lets operators
+    flip ``--log-json`` on a production fleet without invalidating
+    reproducibility claims.
+    """
+
+    def run_pair(self, run):
+        """``run("quiet")`` with telemetry off, ``run("loud")`` fully on."""
+        import io
+
+        from repro import obs
+
+        obs.disable()
+        obs.get_registry().reset()
+        obs.configure_events(None)
+        try:
+            quiet = run("quiet")
+            obs.enable()
+            obs.configure_events(io.StringIO(), command="test")
+            loud = run("loud")
+        finally:
+            obs.disable()
+            obs.get_registry().reset()
+            obs.configure_events(None)
+        return quiet, loud
+
+    def test_engine_run_bit_identical_with_telemetry(self, population):
+        adult, protections = population
+        quiet, loud = self.run_pair(
+            lambda _: run_signature(run_with_executor(adult, protections, None))
+        )
+        assert quiet == loud
+
+    def test_worker_run_bit_identical_with_telemetry(self, tmp_path):
+        from repro.obs import instrument_store
+        from repro.service import JobStore, Worker
+
+        def run_job(state):
+            store = instrument_store(JobStore(tmp_path / state))
+            store.submit(ProtectionJob(dataset="flare", generations=4, seed=9))
+            (outcome,) = Worker(store, worker_id=f"w-{state}").run_once()
+            result = outcome.result
+            return (result.final_scores, result.best_score,
+                    result.extras["timeline"]["best"],
+                    result.extras["timeline"]["evaluations"])
+
+        quiet, loud = self.run_pair(run_job)
+        assert quiet == loud
+
+
 class TestJobLevelWiring:
     def test_job_fingerprint_ignores_eval_workers(self):
         base = ProtectionJob(dataset="flare", seed=1)

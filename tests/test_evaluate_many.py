@@ -155,9 +155,14 @@ class TestEvaluatorBatch:
         original, maskings = batch_data
         evaluator = ProtectionEvaluator(original, ATTRS)
         evaluator.evaluate_many(maskings[:4])
-        assert evaluator.stats() == {
+        stats = evaluator.stats()
+        assert {k: stats[k] for k in
+                ("evaluations", "memo_hits", "persistent_hits", "batch_dedup")} == {
             "evaluations": 4, "memo_hits": 0, "persistent_hits": 0, "batch_dedup": 0,
         }
+        assert stats["batches"] == 1
+        assert stats["max_batch_size"] == 4
+        assert stats["fresh_seconds"] > 0
         evaluator.evaluate_many(maskings[:4])  # all memo hits now
         assert evaluator.stats()["memo_hits"] == 4
         assert evaluator.stats()["evaluations"] == 4

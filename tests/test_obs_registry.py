@@ -1,0 +1,282 @@
+"""Unit tests for the telemetry registry and event log (repro.obs).
+
+The registry is shared by every thread in a worker process — the GA
+loop, the claim heartbeat, netstore handler threads — so the contract
+under test is exactness under concurrency: N threads of increments land
+to the last count, snapshots taken mid-write are internally consistent,
+and the Prometheus rendering escapes whatever ends up in label values.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import (
+    DEFAULT_SECONDS_BUCKETS,
+    MetricsRegistry,
+    escape_label_value,
+)
+
+THREADS = 8
+PER_THREAD = 500
+
+
+@pytest.fixture(autouse=True)
+def isolated_global_registry():
+    """Keep the process-global registry quiet around every test here."""
+    obs.disable()
+    obs.get_registry().reset()
+    obs.configure_events(None)
+    yield
+    obs.disable()
+    obs.get_registry().reset()
+    obs.configure_events(None)
+
+
+def hammer(worker, n_threads=THREADS):
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestConcurrentExactness:
+    def test_counter_increments_all_land(self):
+        registry = MetricsRegistry()
+
+        def worker(t):
+            for _ in range(PER_THREAD):
+                registry.inc("repro_test_total", result="won")
+                registry.inc("repro_test_total", 2.0, result="lost")
+
+        hammer(worker)
+        counters = {
+            tuple(sorted(c["labels"].items())): c["value"]
+            for c in registry.snapshot()["counters"]
+        }
+        assert counters[(("result", "won"),)] == THREADS * PER_THREAD
+        assert counters[(("result", "lost"),)] == 2.0 * THREADS * PER_THREAD
+
+    def test_histogram_observations_all_land(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("repro_test_seconds", DEFAULT_SECONDS_BUCKETS)
+
+        def worker(t):
+            for i in range(PER_THREAD):
+                registry.observe("repro_test_seconds", 0.001 * (i % 7))
+
+        hammer(worker)
+        (hist,) = registry.snapshot()["histograms"]
+        assert hist["count"] == THREADS * PER_THREAD
+        assert sum(hist["counts"]) == THREADS * PER_THREAD
+        expected_sum = THREADS * sum(0.001 * (i % 7) for i in range(PER_THREAD))
+        assert hist["sum"] == pytest.approx(expected_sum)
+
+    def test_snapshot_while_writing_is_consistent(self):
+        """Snapshots taken mid-hammer are detached, parseable, monotone."""
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        seen: list[float] = []
+        errors: list[Exception] = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    snap = registry.snapshot()
+                    json.dumps(snap)  # fully detached, JSON-clean
+                    registry.render_prometheus()
+                    for counter in snap["counters"]:
+                        seen.append(counter["value"])
+                except Exception as exc:  # pragma: no cover - the assertion
+                    errors.append(exc)
+                    return
+
+        observer = threading.Thread(target=reader)
+        observer.start()
+
+        def worker(t):
+            for _ in range(PER_THREAD):
+                registry.inc("repro_test_total")
+                registry.observe("repro_test_seconds", 0.01)
+
+        hammer(worker)
+        stop.set()
+        observer.join()
+        assert not errors
+        assert seen == sorted(seen)  # counter never goes backwards
+        final = registry.snapshot()["counters"][0]["value"]
+        assert final == THREADS * PER_THREAD
+
+    def test_timer_context_manager_records(self):
+        registry = MetricsRegistry()
+        with registry.time("repro_test_seconds", op="claim"):
+            pass
+        (hist,) = registry.snapshot()["histograms"]
+        assert hist["count"] == 1
+        assert hist["labels"] == {"op": "claim"}
+
+
+class TestDisabled:
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.inc("repro_test_total")
+        registry.set_gauge("repro_test_gauge", 3.0)
+        registry.observe("repro_test_seconds", 0.5)
+        with registry.time("repro_test_seconds"):
+            pass
+        snap = registry.snapshot()
+        assert snap == {"counters": [], "gauges": [], "histograms": []}
+
+    def test_global_registry_disabled_by_default(self):
+        assert not obs.is_enabled()
+
+    def test_enable_disable_round_trip(self):
+        registry = obs.enable()
+        assert obs.is_enabled() and registry is obs.get_registry()
+        registry.inc("repro_test_total")
+        obs.disable()
+        registry.inc("repro_test_total")
+        assert registry.snapshot()["counters"][0]["value"] == 1
+
+
+class TestPrometheusRendering:
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        nasty = 'say "hi"\\path\nnewline'
+        registry.inc("repro_test_total", error=nasty)
+        text = registry.render_prometheus()
+        assert '\\"hi\\"' in text
+        assert "\\\\path" in text
+        assert "\\nnewline" in text
+        assert "\n" not in text.split("repro_test_total{", 1)[1].split("}")[0]
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("repro_test_seconds", (0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            registry.observe("repro_test_seconds", value)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_test_seconds histogram" in text
+        assert 'repro_test_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_test_seconds_bucket{le="1"} 2' in text
+        assert 'repro_test_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_test_seconds_count 3" in text
+
+    def test_counter_and_gauge_types(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_test_total", 5)
+        registry.set_gauge("repro_test_depth", 2.5)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_test_total counter" in text
+        assert "repro_test_total 5" in text
+        assert "# TYPE repro_test_depth gauge" in text
+        assert "repro_test_depth 2.5" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestFleetIngest:
+    def test_ingested_snapshot_rendered_with_source_label(self):
+        local = MetricsRegistry()
+        remote = MetricsRegistry()
+        remote.inc("repro_worker_jobs_total", outcome="completed")
+        local.ingest("worker-1", remote.snapshot())
+        text = local.render_prometheus()
+        assert ('repro_worker_jobs_total{outcome="completed",'
+                'source="worker-1"} 1') in text
+
+    def test_ingest_replaces_cumulative_snapshots(self):
+        local = MetricsRegistry()
+        remote = MetricsRegistry()
+        remote.inc("repro_test_total", 3)
+        local.ingest("w", remote.snapshot())
+        remote.inc("repro_test_total", 4)
+        local.ingest("w", remote.snapshot())
+        assert 'repro_test_total{source="w"} 7' in local.render_prometheus()
+
+    def test_ingest_works_on_disabled_registry(self):
+        local = MetricsRegistry(enabled=False)
+        local.ingest("w", {"counters": [{"name": "repro_test_total", "value": 1}],
+                           "gauges": [], "histograms": []})
+        assert 'repro_test_total{source="w"} 1' in local.render_prometheus()
+
+    def test_source_cap_evicts_oldest(self):
+        local = MetricsRegistry()
+        for i in range(5):
+            local.ingest(f"w{i}", {"counters": [], "gauges": [], "histograms": []},
+                         max_sources=3)
+        assert sorted(local.external_sources()) == ["w2", "w3", "w4"]
+
+    def test_garbage_snapshot_ignored(self):
+        local = MetricsRegistry()
+        local.ingest("w", "not a dict")
+        assert local.external_sources() == {}
+
+
+class TestEventLog:
+    def test_emit_writes_one_json_line_with_bound_fields(self):
+        import io
+
+        stream = io.StringIO()
+        obs.enable()
+        log = obs.configure_events(stream, command="worker")
+        log.bind(worker="w-1")
+        log.emit("job_completed", job_id="j1", wall_seconds=1.5)
+        (line,) = stream.getvalue().splitlines()
+        payload = json.loads(line)
+        assert payload["event"] == "job_completed"
+        assert payload["command"] == "worker"
+        assert payload["worker"] == "w-1"
+        assert payload["job_id"] == "j1"
+        assert isinstance(payload["ts"], float)
+
+    def test_events_bump_counters_even_without_stream(self):
+        obs.enable()
+        obs.emit_event("generation")
+        obs.emit_event("heartbeat_error")
+        text = obs.get_registry().render_prometheus()
+        assert 'repro_events_total{event="generation"} 1' in text
+        assert 'repro_events_total{event="heartbeat_error"} 1' in text
+        assert 'repro_errors_total{event="heartbeat_error"} 1' in text
+
+    def test_emit_never_raises_on_broken_stream(self):
+        class Broken:
+            def write(self, _):
+                raise OSError("pipe")
+
+            def flush(self):  # pragma: no cover - never reached
+                raise OSError("pipe")
+
+        obs.enable()
+        log = obs.configure_events(Broken())
+        log.emit("generation")  # must not raise
+        text = obs.get_registry().render_prometheus()
+        assert 'repro_errors_total{event="event_log_write_error"} 1' in text
+
+    def test_concurrent_emits_never_interleave_lines(self):
+        import io
+
+        stream = io.StringIO()
+        obs.enable()
+        log = obs.configure_events(stream)
+
+        def worker(t):
+            for i in range(100):
+                log.emit("generation", thread=t, i=i)
+
+        hammer(worker, n_threads=4)
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 400
+        for line in lines:
+            json.loads(line)  # every line is one complete JSON object
