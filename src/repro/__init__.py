@@ -152,9 +152,12 @@ __all__ = [
     "EvaluationCache",
     "CheckpointManager",
     "JobStore",
+    "SqliteJobStore",
     "RemoteJobStore",
+    "ShardedJobStore",
     "JobStoreServer",
     "Worker",
+    "store_from_spec",
 ]
 
 _SERVICE_NAMES = {
@@ -164,9 +167,12 @@ _SERVICE_NAMES = {
     "EvaluationCache",
     "CheckpointManager",
     "JobStore",
+    "SqliteJobStore",
     "RemoteJobStore",
+    "ShardedJobStore",
     "JobStoreServer",
     "Worker",
+    "store_from_spec",
 }
 
 

@@ -436,14 +436,27 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
 
 def _store_label(store) -> object:
-    """How to name a store to the operator: URL, sqlite spec, or root."""
+    """How to name a store to the operator: URL, spec, or root."""
     base_url = getattr(store, "base_url", None)
     if base_url:
         return base_url
     spec = getattr(store, "spec", "")
-    if spec.startswith("sqlite:"):
+    if spec.startswith(("sqlite:", "shard:")):
         return spec
     return store.root
+
+
+def _shard_column(store, job_ids: list[str]) -> dict[str, str] | None:
+    """``job_id -> shard name`` when the store is sharded, else ``None``.
+
+    Cache-backed only: callers list records first (filling the sharded
+    store's location cache as a side effect), so naming each job's
+    shard costs zero extra round trips.
+    """
+    name_for = getattr(store, "shard_name_for", None)
+    if not callable(name_for):
+        return None
+    return {job_id: name_for(job_id) for job_id in job_ids}
 
 
 def _claim_cells(claims: dict[str, dict], job_id: str) -> list[object]:
@@ -468,8 +481,11 @@ def cmd_status(args: argparse.Namespace) -> int:
     claims = store.claims()
     if args.job:
         record = store.get(args.job)
+        shards = _shard_column(store, [record.job_id])
         if args.json:
             payload = _record_payload(record, claims)
+            if shards is not None:
+                payload["shard"] = shards[record.job_id]
             if record.result is not None:
                 timeline = record.result.extras.get("timeline")
                 if isinstance(timeline, dict):
@@ -479,6 +495,9 @@ def cmd_status(args: argparse.Namespace) -> int:
             print(json.dumps(payload, indent=2, sort_keys=True))
             return 0
         row = _result_row(record) + _claim_cells(claims, record.job_id)
+        if shards is not None:
+            header = header + ["shard"]
+            row = row + [shards[record.job_id]]
         print(format_table(header, [row], title=record.job_id))
         if record.error:
             print(f"error: {record.error}")
@@ -495,14 +514,23 @@ def cmd_status(args: argparse.Namespace) -> int:
         _print_timeline(record)
         return 0
     records = store.records()
+    # listing records first matters for a sharded store: the fan-out
+    # fills its location cache, so the shard column costs nothing extra.
+    shards = _shard_column(store, [r.job_id for r in records])
     if args.json:
-        print(json.dumps([_record_payload(r, claims) for r in records],
-                         indent=2, sort_keys=True))
+        payloads = [_record_payload(r, claims) for r in records]
+        if shards is not None:
+            for payload in payloads:
+                payload["shard"] = shards[payload["job_id"]]
+        print(json.dumps(payloads, indent=2, sort_keys=True))
         return 0
     if not records:
         print(f"no jobs in {label}")
         return 0
     rows = [_result_row(r) + _claim_cells(claims, r.job_id) for r in records]
+    if shards is not None:
+        header = header + ["shard"]
+        rows = [row + [shards[r.job_id]] for row, r in zip(rows, records)]
     print(format_table(header, rows, title=f"jobs in {label}"))
     return 0
 
@@ -646,7 +674,42 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.store import JobStore
 
     _enable_telemetry(args, "serve")
-    if args.backend == "sqlite":
+    backend_label = args.backend
+    if args.shard_of:
+        # One serve process per shard: `--shard-of SPEC --shard-index I`
+        # opens child I of the fleet spec and serves exactly it, so the
+        # process fronting each shard is deployed from the same manifest
+        # workers and monitors read — no second source of truth.
+        from repro.service.shardstore import parse_shard_spec
+
+        if args.db or args.state_dir:
+            raise ReproError(
+                "--shard-of takes the store from the fleet spec; "
+                "--db/--state-dir do not apply"
+            )
+        body = args.shard_of
+        if body.startswith("shard:"):
+            body = body[len("shard:"):]
+        pairs = parse_shard_spec(body)
+        if not 0 <= args.shard_index < len(pairs):
+            raise ReproError(
+                f"--shard-index {args.shard_index} out of range: the fleet "
+                f"spec names {len(pairs)} shard(s)"
+            )
+        name, child_spec = pairs[args.shard_index]
+        if child_spec.startswith(("http://", "https://")):
+            raise ReproError(
+                f"shard {name!r} is already served at {child_spec}; "
+                "--shard-of serves local file:/sqlite: shards"
+            )
+        from repro.service.store import store_from_spec
+
+        store = store_from_spec(child_spec)
+        backend_label = ("sqlite" if child_spec.startswith("sqlite:")
+                         else "file")
+        print(f"serving shard {args.shard_index} ({name}) of "
+              f"shard:{body}")
+    elif args.backend == "sqlite":
         from pathlib import Path
 
         from repro.service.sqlstore import SqliteJobStore
@@ -666,7 +729,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
               "this port can submit and claim jobs", file=sys.stderr)
     # The served store goes through the timing proxy so every RPC's
     # backing store op lands in repro_store_op_seconds{backend=...}.
-    server = JobStoreServer(instrument_store(store, backend=args.backend),
+    server = JobStoreServer(instrument_store(store, backend=backend_label),
                             host=args.host, port=args.port, token=token)
     print(f"serving job store {_store_label(store)} at {server.url}")
     print(f"metrics: {server.url}/metrics (Prometheus text"
@@ -765,7 +828,7 @@ def _fleet_snapshot(store) -> dict:
     workers = sorted({
         info.get("owner") for info in claims.values() if info.get("owner")
     })
-    return {
+    snap = {
         "store": str(_store_label(store)),
         "at": now,
         "jobs": counts,
@@ -773,6 +836,39 @@ def _fleet_snapshot(store) -> dict:
         "running": running,
         "workers": workers,
     }
+    shards = _shard_column(store, [r.job_id for r in records])
+    if shards is not None:
+        # Per-shard rows: group the same records/claims by the shard
+        # `source` label so a sharded fleet reads as one table.  Claims
+        # carry their shard straight from the store's bulk read; records
+        # group via the location cache the records() fan-out just filled.
+        per_shard: dict[str, dict] = {
+            name: {"queued": 0, "running": 0, "completed": 0, "failed": 0,
+                   "claims": 0, "completed_1h": 0}
+            for name in getattr(store, "shard_names", [])
+        }
+        for record in records:
+            bucket = per_shard.setdefault(
+                shards[record.job_id],
+                {"queued": 0, "running": 0, "completed": 0, "failed": 0,
+                 "claims": 0, "completed_1h": 0})
+            bucket[record.status] = bucket.get(record.status, 0) + 1
+            if (record.status == "completed" and record.finished_at is not None
+                    and now - record.finished_at <= 3600.0):
+                bucket["completed_1h"] += 1
+        for info in claims.values():
+            name = info.get("shard")
+            if name in per_shard:
+                per_shard[name]["claims"] += 1
+        health = getattr(store, "shard_health", None)
+        if callable(health):
+            for name, state in health().items():
+                if name in per_shard:
+                    per_shard[name]["available"] = state["available"]
+        snap["shards"] = per_shard
+        for job in running:
+            job["shard"] = shards.get(job["job_id"], "?")
+    return snap
 
 
 def _render_fleet(snap: dict) -> str:
@@ -789,7 +885,27 @@ def _render_fleet(snap: dict) -> str:
     if snap["workers"]:
         lines.append(f"workers ({len(snap['workers'])}): "
                      + ", ".join(snap["workers"]))
+    shards = snap.get("shards")
+    if shards:
+        rows = [
+            [
+                name,
+                "up" if stats.get("available", True) else "DOWN",
+                stats.get("queued", 0),
+                stats.get("running", 0),
+                stats.get("claims", 0),
+                stats.get("completed", 0),
+                f"{stats.get('completed_1h', 0) / 60.0:.2f}/min",
+            ]
+            for name, stats in sorted(shards.items())
+        ]
+        lines.append(format_table(
+            ["shard", "health", "queued", "running", "claims", "completed",
+             "1h rate"],
+            rows, title="shards",
+        ))
     if snap["running"]:
+        sharded = any("shard" in job for job in snap["running"])
         rows = [
             [
                 job["job_id"],
@@ -800,11 +916,13 @@ def _render_fleet(snap: dict) -> str:
                 (f"{job['running_seconds']:.0f}s"
                  if job["running_seconds"] is not None else "?"),
             ]
+            + ([job.get("shard", "?")] if sharded else [])
             for job in snap["running"]
         ]
         lines.append(format_table(
-            ["job", "dataset", "owner", "heartbeat", "elapsed"], rows,
-            title="running",
+            ["job", "dataset", "owner", "heartbeat", "elapsed"]
+            + (["shard"] if sharded else []),
+            rows, title="running",
         ))
     return "\n".join(lines)
 
@@ -829,11 +947,12 @@ def cmd_top(args: argparse.Namespace) -> int:
 def cmd_migrate(args: argparse.Namespace) -> int:
     from repro.service.store import migrate_store, store_from_spec
 
+    _enable_telemetry(args, "migrate")
     if args.source == args.dest:
         raise ReproError("migrate needs two different stores")
     source = store_from_spec(args.source, token=_store_token(args))
     dest = store_from_spec(args.dest, token=_store_token(args))
-    counts = migrate_store(source, dest)
+    counts = migrate_store(source, dest, chunk_size=args.chunk_size)
     print(f"migrated {counts['records']} job record(s) and "
           f"{counts['checkpoints']} checkpoint(s)")
     print(f"  from: {_store_label(source)}")
@@ -908,8 +1027,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="service state directory (default: $REPRO_HOME or "
                              "~/.repro); with a remote store, the local spool")
         sp.add_argument("--store", default="",
-                        help="job store spec: file:DIR, sqlite:PATH, or "
-                             "http(s)://host:port (overrides --state-dir "
+                        help="job store spec: file:DIR, sqlite:PATH, "
+                             "http(s)://host:port, or shard:CHILD,... / "
+                             "shard:@manifest.json (overrides --state-dir "
                              "and --store-url)")
         sp.add_argument("--store-url", default="",
                         help="use a network job store served by 'repro serve' "
@@ -999,6 +1119,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: jobs.sqlite under the state dir)")
     p.add_argument("--state-dir", default="",
                    help="state directory to serve (default: $REPRO_HOME or ~/.repro)")
+    p.add_argument("--shard-of", default="", metavar="SPEC",
+                   help="serve one shard of a fleet: a shard: spec (or its "
+                        "body, or @manifest.json); pick which child with "
+                        "--shard-index")
+    p.add_argument("--shard-index", type=int, default=0,
+                   help="with --shard-of: which child of the fleet spec this "
+                        "process serves (0-based)")
     p.add_argument("--log-json", action="store_true",
                    help="stream structured telemetry events to stderr, "
                         "one JSON object per line")
@@ -1006,13 +1133,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("migrate",
                        help="copy job records and checkpoints between stores "
-                            "(file:DIR <-> sqlite:PATH)")
+                            "(file:DIR <-> sqlite:PATH <-> shard:...)")
     p.add_argument("--from", dest="source", required=True, metavar="SPEC",
-                   help="source store spec (file:DIR, sqlite:PATH, or URL)")
+                   help="source store spec (file:DIR, sqlite:PATH, URL, or "
+                        "shard:...)")
     p.add_argument("--to", dest="dest", required=True, metavar="SPEC",
-                   help="target store spec")
+                   help="target store spec (migrating into a shard: spec "
+                        "rebalances records onto their rendezvous homes)")
     p.add_argument("--token", default="",
                    help="shared token if either end is a remote store")
+    p.add_argument("--chunk-size", type=int, default=100,
+                   help="records per progress chunk; each chunk emits a "
+                        "migrate_progress event (see --log-json)")
+    p.add_argument("--log-json", action="store_true",
+                   help="stream structured telemetry events to stderr — "
+                        "per-chunk migrate_progress gives a heartbeat on "
+                        "large stores")
     p.set_defaults(fn=cmd_migrate)
 
     p = sub.add_parser("status", help="show the service's job table")

@@ -15,8 +15,10 @@ serve``) and :class:`RemoteJobStore` is the client with the identical
 :data:`STORE_PROTOCOL` surface (``--store-url``), extending the same
 claim/heartbeat contract across machines.  :class:`SqliteJobStore`
 keeps the whole store in one transactional SQLite database for heavy
-fleets; :func:`store_from_spec` opens any backend from its spec string
-(``file:DIR`` / ``sqlite:PATH`` / ``http://...``) and
+fleets; :class:`ShardedJobStore` composes N child stores behind the
+same contract (rendezvous placement + fleet work-stealing);
+:func:`store_from_spec` opens any backend from its spec string
+(``file:DIR`` / ``sqlite:PATH`` / ``http://...`` / ``shard:...``) and
 :func:`migrate_store` moves state between them.
 """
 
@@ -37,6 +39,7 @@ from repro.service.checkpoint import (
 from repro.service.job import JobResult, ProtectionJob
 from repro.service.netstore import PROTOCOL_VERSION, JobStoreServer, RemoteJobStore
 from repro.service.runner import JobOutcome, JobRunner
+from repro.service.shardstore import ShardedJobStore, parse_shard_spec
 from repro.service.sqlstore import SqliteJobStore
 from repro.service.store import (
     STORE_PROTOCOL,
@@ -62,6 +65,8 @@ __all__ = [
     "JobStore",
     "JobRecord",
     "SqliteJobStore",
+    "ShardedJobStore",
+    "parse_shard_spec",
     "JobStoreServer",
     "RemoteJobStore",
     "store_from_spec",

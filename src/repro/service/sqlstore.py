@@ -241,6 +241,29 @@ class SqliteJobStore:
             ).fetchall()
         return [JobRecord.from_dict(json.loads(row[0])) for row in rows]
 
+    def iter_records(self, batch_size: int = 256):
+        """Yield records one at a time, in job-id order.
+
+        The streaming sibling of :meth:`records` (not in
+        :data:`STORE_PROTOCOL`; ``migrate_store`` feature-detects it).
+        Pages through the table ``batch_size`` rows per query, keyed on
+        the primary key rather than a long-lived cursor, so concurrent
+        writers never block behind a reader holding the connection.
+        """
+        last = ""
+        while True:
+            with self._lock:
+                rows = self._conn.execute(
+                    "SELECT job_id, payload FROM jobs WHERE job_id > ? "
+                    "ORDER BY job_id LIMIT ?",
+                    (last, batch_size),
+                ).fetchall()
+            if not rows:
+                return
+            for job_id, payload in rows:
+                yield JobRecord.from_dict(json.loads(payload))
+            last = rows[-1][0]
+
     def queued(self) -> list[JobRecord]:
         """Queued records only, oldest first — one indexed query."""
         with self._lock:

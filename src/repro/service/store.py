@@ -251,6 +251,24 @@ class JobStore:
         ]
         return sorted(loaded, key=lambda r: r.submitted_at)
 
+    def iter_records(self):
+        """Yield records one at a time, in record-file name order.
+
+        The streaming sibling of :meth:`records` (not part of
+        :data:`STORE_PROTOCOL` — callers feature-detect it): a
+        migration over a large table holds one record in memory, not
+        the whole store.  Ordered by job id, not submission time —
+        global time-ordering would force materializing everything,
+        which is the point of not using :meth:`records`.
+        """
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue  # torn mid-write; a migration snapshot skips it
+            if isinstance(payload, dict):
+                yield JobRecord.from_dict(payload)
+
     def _status_index(self) -> dict[str, tuple[str, float]]:
         """``job_id -> (status, submitted_at)`` without a full table read.
 
@@ -704,13 +722,23 @@ def store_from_spec(spec: str = "", *, token: str = "",
     - ``http://...`` / ``https://...`` — a
       :class:`~repro.service.netstore.RemoteJobStore` client of a
       ``repro serve`` endpoint, authenticated with ``token`` and
-      spooling under ``state_dir``.
+      spooling under ``state_dir``;
+    - ``shard:CHILD[,CHILD...]`` or ``shard:@MANIFEST.json`` — a
+      :class:`~repro.service.shardstore.ShardedJobStore` composing the
+      child specs (any mix of the grammars above; ``token`` is shared
+      by HTTP children, ``state_dir`` is the local checkpoint spool).
 
     Local paths are ``~``-expanded here: a spec like ``file:~/.repro``
     reaches this factory verbatim (shells do not tilde-expand after the
     colon), and silently creating a literal ``./~`` directory instead
     of opening the home-dir store would make a migration look
     successful while copying nothing.
+
+    An unrecognized ``scheme:`` prefix (say, a typo like
+    ``sqllite:jobs.db``) is an error, not a file store on a directory
+    literally named that — a fleet quietly writing into
+    ``./sqllite:jobs.db`` looks healthy while sharing state with
+    no one.
 
     Every returned store exposes the full :data:`STORE_PROTOCOL`.
     """
@@ -725,32 +753,77 @@ def store_from_spec(spec: str = "", *, token: str = "",
 
         path = spec[len("sqlite:"):]
         return SqliteJobStore(Path(path).expanduser() if path else None)
+    if spec.startswith("shard:"):
+        from repro.service.shardstore import ShardedJobStore
+
+        return ShardedJobStore.from_spec(spec[len("shard:"):], token=token,
+                                         state_dir=state_dir)
     if spec.startswith("file:"):
         spec = spec[len("file:"):]
+    elif _looks_like_unknown_scheme(spec):
+        scheme = spec.split(":", 1)[0]
+        raise ServiceError(
+            f"unrecognized store scheme {scheme + ':'!r} in spec {spec!r} "
+            "— valid specs: \"\" (default file store), file:DIR or a bare "
+            "directory path, sqlite:PATH, http(s)://HOST:PORT, and "
+            "shard:CHILD[,CHILD...] / shard:@MANIFEST.json"
+        )
     if not spec:
         return JobStore(state_dir) if state_dir else JobStore()
     return JobStore(Path(spec).expanduser())
 
 
-def migrate_store(source, target) -> dict[str, int]:
+def _looks_like_unknown_scheme(spec: str) -> bool:
+    """Whether a non-``file:`` spec reads as ``scheme:rest`` rather than
+    a path.  Alphabetic tokens of length >= 2 only, so Windows drive
+    letters (``C:\\jobs``) and paths with colons deeper in (``a/b:c``)
+    still open as file stores; an existing path always wins — the user
+    demonstrably means that directory."""
+    head, sep, _ = spec.partition(":")
+    if not sep or not head.isalpha() or len(head) < 2:
+        return False
+    return not Path(spec).expanduser().exists()
+
+
+def migrate_store(source, target, *, chunk_size: int = 100) -> dict[str, int]:
     """Copy every job record and checkpoint from ``source`` to ``target``.
 
     Works across any two :data:`STORE_PROTOCOL` stores (this is the
     ``repro migrate`` export/import pair: file directory -> sqlite
-    database and back).  Records keep their status, timestamps and
-    results byte-for-byte; checkpoints ride along keyed by job id.
-    Live claims are deliberately *not* carried: migrate a quiesced
-    fleet — a record mid-``running`` at snapshot time arrives with no
-    claim and is requeued by the first ``recover_stale_claims`` pass on
-    the target, which is exactly the crashed-worker repair path.
-    Returns counts of what was copied.
+    database and back, or shard -> shard for rebalancing).  Records
+    keep their status, timestamps and results byte-for-byte;
+    checkpoints ride along keyed by job id.  Live claims are
+    deliberately *not* carried: migrate a quiesced fleet — a record
+    mid-``running`` at snapshot time arrives with no claim and is
+    requeued by the first ``recover_stale_claims`` pass on the target,
+    which is exactly the crashed-worker repair path.
+
+    The copy streams: a source exposing ``iter_records()`` (the file
+    and sqlite stores do) is traversed one record at a time, so a
+    million-job table never materializes in memory; other sources fall
+    back to ``records()``.  Every ``chunk_size`` records a
+    ``migrate_progress`` event is emitted — ``repro migrate
+    --log-json`` on a large store shows a heartbeat, not an hour of
+    silence.  Returns counts of what was copied.
     """
-    records = source.records()
+    from repro.obs import emit_event
+
+    if chunk_size < 1:
+        raise ServiceError(f"chunk_size must be >= 1, got {chunk_size}")
+    iterator = getattr(source, "iter_records", None)
+    stream = iterator() if callable(iterator) else source.records()
+    copied = 0
     checkpoints = 0
-    for record in records:
+    for record in stream:
         target.save(record)
+        copied += 1
         payload = source.get_checkpoint(record.job_id)
         if payload is not None:
             target.put_checkpoint(record.job_id, payload)
             checkpoints += 1
-    return {"records": len(records), "checkpoints": checkpoints}
+        if copied % chunk_size == 0:
+            emit_event("migrate_progress", records=copied,
+                       checkpoints=checkpoints)
+    emit_event("migrate_progress", records=copied, checkpoints=checkpoints,
+               done=True)
+    return {"records": copied, "checkpoints": checkpoints}

@@ -318,12 +318,20 @@ class Worker:
 
         Without explicit candidates the store's own ``claim_batch``
         does the whole queue-walk-and-claim — one transaction on a
-        database store, one round trip on a remote one.  With
-        candidates (the single-record :meth:`process` path) the claim
-        loop runs here over exactly those records.
+        database store, one round trip on a remote one.  A sharded
+        store exposes ``steal_batch`` and gets it instead: drain this
+        worker's home shard first (its own rendezvous placement, so a
+        balanced fleet self-partitions with no contention), then steal
+        from the most-backlogged healthy shard.  With candidates (the
+        single-record :meth:`process` path) the claim loop runs here
+        over exactly those records.
         """
         if candidates is None:
-            batch = self.store.claim_batch(owner=self.worker_id, limit=limit)
+            steal = getattr(self.store, "steal_batch", None)
+            if callable(steal):
+                batch = steal(owner=self.worker_id, limit=limit)
+            else:
+                batch = self.store.claim_batch(owner=self.worker_id, limit=limit)
             if batch:
                 # claim_batch reports only wins; losses stay inside the
                 # store transaction (claim_queued counts both sides).

@@ -29,21 +29,36 @@ class StoreHarness:
     store: object
     backing: object
 
-    def _is_file_backing(self) -> bool:
-        return isinstance(self.backing, JobStore)
+    def _backing_for(self, job_id: str) -> object:
+        """The concrete local store holding ``job_id``'s claim state.
+
+        For single stores that is ``backing`` itself; for a
+        ``ShardedJobStore`` it is the one child shard the job lives on
+        (claims co-live with records, so the shard answers for both).
+        """
+        from repro.service import ShardedJobStore
+
+        if isinstance(self.backing, ShardedJobStore):
+            return self.backing.shard_for(job_id)
+        return self.backing
+
+    @staticmethod
+    def _is_file_store(store: object) -> bool:
+        return isinstance(store, JobStore)
 
     def age_claim(self, job_id: str, seconds: float) -> None:
         """Backdate a claim as if its worker went silent ``seconds`` ago."""
         then = time.time() - seconds
-        if self._is_file_backing():
-            path = self.backing.claim_path(job_id)
+        backing = self._backing_for(job_id)
+        if self._is_file_store(backing):
+            path = backing.claim_path(job_id)
             info = json.loads(path.read_text(encoding="utf-8"))
             info["claimed_at"] = then
             info["last_seen"] = then
             path.write_text(json.dumps(info), encoding="utf-8")
             return
-        with self.backing._lock:
-            self.backing._conn.execute(
+        with backing._lock:
+            backing._conn.execute(
                 "UPDATE claims SET claimed_at = ?, last_seen = ? WHERE job_id = ?",
                 (then, then, job_id),
             )
@@ -56,11 +71,12 @@ class StoreHarness:
         claim row with a NULL owner.  Both mean "held, by whom
         unknown", and the owner-gated operations must refuse to guess.
         """
-        if self._is_file_backing():
-            self.backing.claim_path(job_id).write_text("", encoding="utf-8")
+        backing = self._backing_for(job_id)
+        if self._is_file_store(backing):
+            backing.claim_path(job_id).write_text("", encoding="utf-8")
             return
-        with self.backing._lock:
-            self.backing._conn.execute(
+        with backing._lock:
+            backing._conn.execute(
                 "INSERT OR REPLACE INTO claims "
                 "(job_id, owner, pid, claimed_at, last_seen) "
                 "VALUES (?, NULL, NULL, ?, ?)",
@@ -68,12 +84,30 @@ class StoreHarness:
             )
 
 
-@pytest.fixture(params=["file", "remote", "sqlite", "sqlite-remote"])
+@pytest.fixture(params=["file", "remote", "sqlite", "sqlite-remote",
+                        "shard-sqlite", "shard-mixed"])
 def store_harness(request, tmp_path) -> StoreHarness:
     """The store contract fixture: every test using it runs once per
-    backend — the file-backed ``JobStore``, the ``SqliteJobStore``, and
-    a ``RemoteJobStore`` over a live ``JobStoreServer`` fronting each
-    of the two."""
+    backend — the file-backed ``JobStore``, the ``SqliteJobStore``, a
+    ``RemoteJobStore`` over a live ``JobStoreServer`` fronting each of
+    the two, and a ``ShardedJobStore`` over two shards (2x sqlite, and
+    a file+sqlite mix) — sharding must be invisible behind the
+    contract."""
+    if request.param.startswith("shard"):
+        from repro.service import ShardedJobStore, SqliteJobStore
+
+        second = (
+            JobStore(tmp_path / "shard-b")
+            if request.param == "shard-mixed"
+            else SqliteJobStore(tmp_path / "shard-b.sqlite")
+        )
+        sharded = ShardedJobStore(
+            [SqliteJobStore(tmp_path / "shard-a.sqlite"), second],
+            names=["a", "b"],
+            root=tmp_path / "spool",
+        )
+        yield StoreHarness(store=sharded, backing=sharded)
+        return
     if request.param.startswith("sqlite"):
         from repro.service import SqliteJobStore
 
