@@ -6,10 +6,13 @@ run-to-run noise floor of the evaluation pipeline.  This bench runs the
 same fresh-population ``evaluate_many`` workload in alternating A/B
 legs — telemetry disabled, telemetry enabled — and asserts on medians:
 
-* scores are byte-identical between the two states (the determinism
+* scores are byte-identical between the states (the determinism
   contract, cheap to re-check here);
 * the enabled median is within ``OVERHEAD_CEILING`` of the disabled
-  median.
+  median — and so is the *traced* median, a third leg that runs the
+  same workload inside an active trace scope so ``repro.eval.batch``
+  spans actually record (a scope-less leg would measure the no-op
+  fast path and prove nothing).
 
 Alternating legs (ABAB...) instead of two blocks keeps thermal drift
 and cache warmup from loading one side of the comparison.  Sizes follow
@@ -27,6 +30,7 @@ from conftest import emit
 
 from repro import obs
 from repro.data import CategoricalDataset
+from repro.obs import trace as obs_trace
 from repro.datasets import load_flare, protected_attributes
 from repro.experiments.population_builder import build_initial_population
 from repro.linkage.compressed import clear_pair_memo
@@ -52,7 +56,7 @@ def _population(size: int) -> tuple[CategoricalDataset, list[CategoricalDataset]
     return original, build_initial_population(original, dataset_name="flare", seed=0)
 
 
-def _timed_leg(original, population, enabled: bool):
+def _timed_leg(original, population, enabled: bool, traced: bool = False):
     if enabled:
         obs.enable()
     else:
@@ -60,9 +64,23 @@ def _timed_leg(original, population, enabled: bool):
     obs.get_registry().reset()
     clear_pair_memo()
     evaluator = ProtectionEvaluator(original, protected_attributes("flare"))
-    start = time.perf_counter()
-    scores = evaluator.evaluate_many(population)
-    return time.perf_counter() - start, scores
+    scope = None
+    if traced:
+        obs_trace.enable_tracing(sample_rate=1.0)
+        scope = obs_trace.activate(obs_trace.new_trace_id())
+    try:
+        start = time.perf_counter()
+        scores = evaluator.evaluate_many(population)
+        seconds = time.perf_counter() - start
+    finally:
+        if scope is not None:
+            spans = obs_trace.deactivate(scope)
+            obs_trace.disable_tracing()
+            # The leg must have measured a live tracer, not the no-op path.
+            assert spans, "traced leg recorded no spans"
+        else:
+            obs_trace.disable_tracing()
+    return seconds, scores
 
 
 def test_bench_telemetry_overhead_below_ceiling():
@@ -72,7 +90,7 @@ def test_bench_telemetry_overhead_below_ceiling():
         for size in _sizes():
             original, population = _population(size)
             _timed_leg(original, population, enabled=False)  # warmup, untimed
-            off, on = [], []
+            off, on, traced = [], [], []
             baseline_scores = None
             for _ in range(LEGS):
                 seconds, scores = _timed_leg(original, population, enabled=False)
@@ -84,19 +102,28 @@ def test_bench_telemetry_overhead_below_ceiling():
                 on.append(seconds)
                 # Telemetry is a pure observer: identical scores either way.
                 assert scores == baseline_scores
+                seconds, scores = _timed_leg(
+                    original, population, enabled=True, traced=True
+                )
+                traced.append(seconds)
+                assert scores == baseline_scores
             ratio = statistics.median(on) / statistics.median(off)
-            worst = max(worst, ratio)
+            traced_ratio = statistics.median(traced) / statistics.median(off)
+            worst = max(worst, ratio, traced_ratio)
             rows.append(
                 f"n={size:5d}  pop={len(population):4d}  "
                 f"off={statistics.median(off) * 1000:7.1f}ms  "
                 f"on={statistics.median(on) * 1000:7.1f}ms  "
-                f"overhead={100 * (ratio - 1):+5.1f}%"
+                f"traced={statistics.median(traced) * 1000:7.1f}ms  "
+                f"overhead={100 * (ratio - 1):+5.1f}%  "
+                f"traced={100 * (traced_ratio - 1):+5.1f}%"
             )
     finally:
         obs.disable()
+        obs_trace.disable_tracing()
         obs.get_registry().reset()
 
-    emit("telemetry overhead: evaluate_many with registry off vs on",
+    emit("telemetry overhead: evaluate_many with registry off / on / traced",
          "\n".join(rows))
     assert worst <= OVERHEAD_CEILING, (
         f"telemetry overhead {100 * (worst - 1):.1f}% exceeds the "

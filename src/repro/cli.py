@@ -245,14 +245,35 @@ def _enable_telemetry(args: argparse.Namespace, command: str) -> None:
 
     The registry is off for library users; the CLI's service commands
     are the boundary where recording becomes worthwhile.  ``--log-json``
-    additionally streams structured JSONL events to stderr, leaving
-    stdout to the human-facing tables.
+    additionally streams structured JSONL events to stderr (leaving
+    stdout to the human-facing tables), ``--log-json-file`` tees the
+    same stream into a size-rotated JSONL file, and ``--trace-sample``
+    turns on the span tracer at the given head-sampling rate.
     """
     import repro.obs as obs
 
     obs.enable()
+    rate = float(getattr(args, "trace_sample", 0.0) or 0.0)
+    if rate > 0.0:
+        obs.enable_tracing(
+            sample_rate=min(rate, 1.0),
+            slow_op_seconds=float(
+                getattr(args, "slow_op_seconds", 0.0)
+                or obs.DEFAULT_SLOW_OP_SECONDS
+            ),
+        )
+    streams: list = []
     if getattr(args, "log_json", False):
-        obs.configure_events(sys.stderr, command=command)
+        streams.append(sys.stderr)
+    log_file = getattr(args, "log_json_file", "")
+    if log_file:
+        max_mb = float(getattr(args, "log_json_max_mb", 64.0) or 64.0)
+        streams.append(obs.RotatingFileStream(
+            log_file, max_bytes=max(1, int(max_mb * 1024 * 1024))
+        ))
+    if streams:
+        stream = streams[0] if len(streams) == 1 else obs.TeeStream(*streams)
+        obs.configure_events(stream, command=command)
 
 
 def _parse_seeds(args: argparse.Namespace) -> list[int]:
@@ -321,6 +342,10 @@ def _record_payload(record, claims: dict[str, dict]) -> dict:
         "finished_at": record.finished_at,
         "error": record.error,
     }
+    trace_info = record.extras.get("trace")
+    if isinstance(trace_info, dict) and trace_info.get("id"):
+        # Logs, metrics and traces join on this one key.
+        payload["trace_id"] = str(trace_info["id"])
     claim = claims.get(record.job_id)
     if claim is not None:
         payload["claim"] = claim
@@ -356,12 +381,33 @@ def cmd_submit(args: argparse.Namespace) -> int:
         eval_backend=args.eval_backend,
     )
     jobs = [base.with_seed(seed) for seed in _parse_seeds(args)]
-    # The cadence rides in the initial queued write so a worker that
-    # claims the record the instant it lands already honours it.
-    records = [
-        store.submit(job, extras={"checkpoint_every": args.checkpoint_every})
-        for job in jobs
-    ]
+    from repro.obs import trace
+
+    # The cadence — and, under --trace-sample, the trace identity —
+    # rides in the initial queued write so a worker that claims the
+    # record the instant it lands already honours both.
+    records = []
+    for job in jobs:
+        trace_info = trace.new_trace_info()
+        if trace_info is None:
+            records.append(store.submit(
+                job, extras={"checkpoint_every": args.checkpoint_every}
+            ))
+            continue
+        with trace.activated(trace_info["id"], trace_info["root"]) as scope:
+            with trace.span("repro.submit", dataset=job.dataset, seed=job.seed):
+                record = store.submit(job, extras={
+                    "checkpoint_every": args.checkpoint_every,
+                    "trace": trace_info,
+                })
+        records.append(record)
+        stored = trace.trace_context_from_extras(record.extras)
+        # Resubmission keeps the existing record (and its original
+        # trace identity) — only flush our spans when ours landed.
+        if (trace_info["sampled"] and stored is not None
+                and stored["id"] == trace_info["id"]):
+            trace.flush_spans(store, record.job_id, trace_info["id"],
+                              scope.collected)
     for record in records:
         if record.status == "completed":
             print(f"{record.job_id}: already completed, skipping (resubmit idempotent)")
@@ -415,10 +461,16 @@ def cmd_submit(args: argparse.Namespace) -> int:
     if mine:
         beat = ClaimHeartbeat(store, [r.job_id for r in mine], owner,
                               _INLINE_HEARTBEAT_SECONDS).start()
+        settled: list = []
         try:
             for record in mine:
                 store.mark_running(record)
-            for record, outcome in zip(mine, runner.run_settled([r.job for r in mine])):
+            settled = runner.run_settled(
+                [r.job for r in mine],
+                traces=[trace.trace_context_from_extras(r.extras)
+                        for r in mine],
+            )
+            for record, outcome in zip(mine, settled):
                 if outcome.ok:
                     store.mark_completed(record, outcome.result)
                 else:
@@ -428,6 +480,17 @@ def cmd_submit(args: argparse.Namespace) -> int:
         finally:
             beat.stop()
             release_quietly(store, [r.job_id for r in mine], owner)
+            outcomes = {o.job_id: o for o in settled}
+            for record in mine:
+                outcome = outcomes.get(record.job_id)
+                try:
+                    current = store.get(record.job_id)
+                except ReproError:
+                    current = record  # telemetry only, never mask the run
+                trace.flush_job_trace(
+                    store, current,
+                    list(outcome.trace_spans) if outcome else [],
+                )
     rows = [_result_row(store.get(record.job_id)) for record in records]
     print(format_table(_STATUS_HEADER, rows, title=f"submitted via {args.backend} backend"))
     print(f"store: {_store_label(store)}" if _store_spec(args)
@@ -604,13 +667,28 @@ def cmd_resume(args: argparse.Namespace) -> int:
         )
         beat = ClaimHeartbeat(store, [record.job_id], owner,
                               _INLINE_HEARTBEAT_SECONDS).start()
+        # The resumed run links its new spans to the submit-time trace:
+        # same trace id from extras, so the durable blob merges both
+        # attempts into one waterfall.
+        from repro.obs import trace
+
+        trace_ctx = trace.trace_context_from_extras(record.extras)
         store.mark_running(record)
         try:
-            (result,) = runner.run([record.job], resume=True)
+            (result,) = runner.run(
+                [record.job], resume=True,
+                traces=[trace_ctx] if trace_ctx else None,
+            )
         except Exception as exc:  # noqa: BLE001 - job failure is service state
             store.mark_failed(record, str(exc))
+            if trace_ctx is not None:
+                trace.flush_job_trace(store, store.get(record.job_id),
+                                      trace.take_stray_spans())
             raise
+        spans = result.extras.pop("trace_spans", [])
         store.mark_completed(record, result)
+        if trace_ctx is not None:
+            trace.flush_job_trace(store, store.get(record.job_id), spans)
     finally:
         if beat is not None:
             beat.stop()
@@ -828,6 +906,26 @@ def _fleet_snapshot(store) -> dict:
     workers = sorted({
         info.get("owner") for info in claims.values() if info.get("owner")
     })
+    # Slowest recent jobs, sourced from trace roots: only traced records
+    # carry the id that links the row to its `repro trace` waterfall,
+    # and the root span's wall clock is submit -> finish.
+    traced_done = [
+        r for r in records
+        if r.status == "completed" and r.finished_at is not None
+        and r.submitted_at is not None
+        and now - r.finished_at <= 3600.0
+        and isinstance(r.extras.get("trace"), dict)
+        and r.extras["trace"].get("id")
+    ]
+    traced_done.sort(key=lambda r: r.finished_at - r.submitted_at, reverse=True)
+    slowest = [
+        {
+            "job_id": r.job_id,
+            "trace_id": str(r.extras["trace"]["id"]),
+            "seconds": round(r.finished_at - r.submitted_at, 1),
+        }
+        for r in traced_done[:5]
+    ]
     snap = {
         "store": str(_store_label(store)),
         "at": now,
@@ -835,6 +933,7 @@ def _fleet_snapshot(store) -> dict:
         "throughput": throughput,
         "running": running,
         "workers": workers,
+        "slowest": slowest,
     }
     shards = _shard_column(store, [r.job_id for r in records])
     if shards is not None:
@@ -885,6 +984,11 @@ def _render_fleet(snap: dict) -> str:
     if snap["workers"]:
         lines.append(f"workers ({len(snap['workers'])}): "
                      + ", ".join(snap["workers"]))
+    if snap.get("slowest"):
+        lines.append("slowest traced (1h): " + ", ".join(
+            f"{job['job_id']} {job['seconds']}s [{job['trace_id'][:8]}]"
+            for job in snap["slowest"]
+        ))
     shards = snap.get("shards")
     if shards:
         rows = [
@@ -944,6 +1048,28 @@ def cmd_top(args: argparse.Namespace) -> int:
         return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import trace
+
+    store = _job_store(args)
+    record = store.get(args.job)  # unknown jobs fail with the usual error
+    payload = trace.load_trace(store, record.job_id)
+    if payload is None:
+        info = record.extras.get("trace")
+        if isinstance(info, dict) and not info.get("sampled", True):
+            print(f"{record.job_id}: trace was head-sampled out "
+                  "(submit with --trace-sample 1.0 to keep every trace)")
+        else:
+            print(f"{record.job_id}: no trace recorded; submit with "
+                  "--trace-sample RATE to trace jobs")
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(trace.render_waterfall(payload))
+    return 0
+
+
 def cmd_migrate(args: argparse.Namespace) -> int:
     from repro.service.store import migrate_store, store_from_spec
 
@@ -953,8 +1079,9 @@ def cmd_migrate(args: argparse.Namespace) -> int:
     source = store_from_spec(args.source, token=_store_token(args))
     dest = store_from_spec(args.dest, token=_store_token(args))
     counts = migrate_store(source, dest, chunk_size=args.chunk_size)
-    print(f"migrated {counts['records']} job record(s) and "
-          f"{counts['checkpoints']} checkpoint(s)")
+    print(f"migrated {counts['records']} job record(s), "
+          f"{counts['checkpoints']} checkpoint(s) and "
+          f"{counts.get('traces', 0)} trace(s)")
     print(f"  from: {_store_label(source)}")
     print(f"  to:   {_store_label(dest)}")
     if counts["records"]:
@@ -1037,6 +1164,23 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--token", default="",
                         help="shared token for remote stores (default: $REPRO_TOKEN)")
 
+    def add_logging_options(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--log-json-file", default="", metavar="PATH",
+                        help="also write the JSONL event stream to PATH, "
+                             "size-rotated (works with or without --log-json)")
+        sp.add_argument("--log-json-max-mb", type=float, default=64.0,
+                        help="rotate --log-json-file when it reaches this many "
+                             "MB; one predecessor (PATH.1) is kept")
+        sp.add_argument("--trace-sample", type=float, default=0.0, metavar="RATE",
+                        help="trace this fraction of submitted jobs "
+                             "(0 disables, 1 traces everything; failed jobs "
+                             "always keep their trace) — view with "
+                             "'repro trace JOB'")
+        sp.add_argument("--slow-op-seconds", type=float, default=30.0,
+                        help="with tracing on, emit a slow_op event and count "
+                             "repro_slow_ops_total{op} for any span longer "
+                             "than this")
+
     def add_service_options(sp: argparse.ArgumentParser) -> None:
         add_store_options(sp)
         sp.add_argument("--backend", default="serial", choices=["serial", "thread", "process"])
@@ -1046,6 +1190,7 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--log-json", action="store_true",
                         help="stream structured telemetry events to stderr, "
                              "one JSON object per line")
+        add_logging_options(sp)
 
     def add_eval_options(sp: argparse.ArgumentParser) -> None:
         sp.add_argument("--eval-workers", type=int, default=0,
@@ -1129,6 +1274,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--log-json", action="store_true",
                    help="stream structured telemetry events to stderr, "
                         "one JSON object per line")
+    add_logging_options(p)
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("migrate",
@@ -1157,6 +1303,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print machine-readable job records instead of tables")
     add_store_options(p)
     p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("trace",
+                       help="render a job's span waterfall (record one by "
+                            "submitting with --trace-sample)")
+    p.add_argument("job", help="job id whose trace to render")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw span tree as JSON instead")
+    add_store_options(p)
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("top", help="live fleet overview: job counts, throughput, "
                                    "running claims, workers")

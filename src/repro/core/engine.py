@@ -41,6 +41,7 @@ from repro.data.validation import require_population
 from repro.exceptions import EvolutionError
 from repro.metrics.evaluation import ProtectionEvaluator
 from repro.obs import emit_event, get_registry
+from repro.obs.trace import span as trace_span
 from repro.utils.rng import as_generator
 
 
@@ -239,7 +240,14 @@ class EvolutionaryProtector:
         stepped = False
         while not stopping.should_stop(history):
             generation += 1
-            record = self._step(population, generation)
+            # Pure observer: the span reads clocks only when a traced
+            # job is active, and never touches the run's RNG streams.
+            with trace_span("repro.engine.generation",
+                            generation=generation) as span:
+                record = self._step(population, generation)
+                span.set(operator=record.operator,
+                         evaluations=record.evaluations,
+                         accepted=record.accepted)
             history.append(record)
             stepped = True
             if on_generation is not None:

@@ -49,6 +49,7 @@ from repro.metrics.linkage_risk import (
 )
 from repro.metrics.score import MaxScore, ScoreFunction
 from repro.obs.registry import DEFAULT_SIZE_BUCKETS, get_registry
+from repro.obs.trace import record_span, span_active
 
 # Batch sizes are size-shaped, not latency-shaped; pin the bucket bounds
 # before the first observation picks the seconds default.
@@ -392,6 +393,9 @@ class ProtectionEvaluator:
         candidates = list(batch)
         if not candidates:
             return []
+        # One clock pair instead of a context manager keeps the batch
+        # body un-indented; 0.0 doubles as "no trace active".
+        trace_started = time.perf_counter() if span_active() else 0.0
         registry = get_registry()
         self.batches += 1
         if len(candidates) > self.max_batch_size:
@@ -469,6 +473,10 @@ class ProtectionEvaluator:
             score = resolved[key]
             for position in positions:
                 results[position] = score
+        if trace_started:
+            record_span("repro.eval.batch",
+                        time.perf_counter() - trace_started,
+                        size=len(candidates), fresh=len(missing))
         return results  # type: ignore[return-value]
 
     def _evaluate_fresh(self, candidates: list[CategoricalDataset]) -> list[ProtectionScore]:

@@ -31,9 +31,70 @@ from __future__ import annotations
 import json
 import threading
 import time
+from pathlib import Path
 from typing import IO
 
 from repro.obs.registry import get_registry
+
+
+class RotatingFileStream:
+    """Append-only JSONL file sink with size-based rotation.
+
+    Backs ``--log-json-file``: a long-lived worker's event log must not
+    fill a disk.  When the file would exceed ``max_bytes`` it rotates to
+    ``<path>.1`` (overwriting the previous backup), bounding total usage
+    at roughly ``2 * max_bytes`` regardless of uptime.  Write errors
+    propagate to :meth:`EventLog.emit`'s catch — the log counts them and
+    the workload never sees them.
+    """
+
+    def __init__(self, path: str | Path, max_bytes: int = 64 * 1024 * 1024) -> None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def backup_path(self) -> Path:
+        """Where the rotated-out predecessor lands (``<path>.1``)."""
+        return self.path.with_suffix(self.path.suffix + ".1")
+
+    def write(self, text: str) -> int:
+        # len(text) under-counts multibyte lines, but rotation is a disk
+        # bound, not an accounting guarantee — close enough is correct.
+        position = self._file.tell()
+        if position > 0 and position + len(text) > self.max_bytes:
+            self._rotate()
+        return self._file.write(text)
+
+    def _rotate(self) -> None:
+        self._file.close()
+        self.path.replace(self.backup_path)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class TeeStream:
+    """Fan one event line out to several sinks (stderr plus a file)."""
+
+    def __init__(self, *streams: IO[str]) -> None:
+        self.streams = streams
+
+    def write(self, text: str) -> int:
+        for stream in self.streams:
+            stream.write(text)
+        return len(text)
+
+    def flush(self) -> None:
+        for stream in self.streams:
+            stream.flush()
 
 
 class EventLog:

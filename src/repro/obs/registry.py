@@ -142,9 +142,26 @@ class MetricsRegistry:
             self._gauges.setdefault(name, {})[key] = float(value)
 
     def declare_histogram(self, name: str, buckets: Sequence[float]) -> None:
-        """Pin ``name``'s bucket bounds (before the first observation)."""
+        """Pin ``name``'s bucket bounds (before the first observation).
+
+        Redeclaring with *different* bounds after observations exist
+        raises ``ValueError``: the live series was already bucketed with
+        the old bounds, so the late declaration would silently ship
+        wrong buckets.  Redeclaring identical bounds stays legal (module
+        import-time declarations run more than once under test reloads).
+        """
+        bounds = tuple(sorted(float(b) for b in buckets))
         with self._lock:
-            self._histogram_bounds[name] = tuple(sorted(float(b) for b in buckets))
+            series = self._histograms.get(name)
+            if series:
+                effective = next(iter(series.values())).bounds
+                if effective != bounds:
+                    raise ValueError(
+                        f"histogram {name!r} already has observations with "
+                        f"buckets {effective}; declare_histogram must run "
+                        "before the first observe()"
+                    )
+            self._histogram_bounds[name] = bounds
 
     def observe(self, name: str, value: float, **labels: str) -> None:
         """Record one observation into the histogram ``name{labels}``."""

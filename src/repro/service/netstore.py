@@ -71,7 +71,7 @@ from repro.exceptions import (
     StoreUnavailableError,
     WorkerError,
 )
-from repro.obs import get_registry
+from repro.obs import get_registry, trace
 from repro.service.job import JobResult, ProtectionJob
 from repro.service.store import (
     JobRecord,
@@ -256,6 +256,11 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", "")
+        if trace_id:
+            # Joins this response to its request's trace, so server
+            # logs, metrics and traces meet on one key.
+            self.send_header("X-Repro-Trace-Id", trace_id)
         self._send_duration_header()
         self.end_headers()
         self.wfile.write(body)
@@ -291,6 +296,10 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._started = time.perf_counter()
+        self._trace_id = ""  # keep-alive handlers must not leak it across requests
+        if self.path.startswith("/trace/"):
+            self._handle_trace_get()
+            return
         if self.path == "/health":
             self._send_json(200, {"ok": True})
             return
@@ -314,6 +323,64 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
             self.wfile.write(body)
             return
         self._send_error_json(404, "ServiceError", f"no such path {self.path!r}")
+
+    def _handle_trace_get(self) -> None:
+        """``GET /trace/<job_id>``: the job's stored span tree as JSON.
+
+        Token-authenticated like ``/metrics``, and cached the same way
+        (``X-Repro-Cache-Status``): a dashboard polling one waterfall
+        must not turn every refresh into a store read.
+        """
+        if not self._authorized():
+            self.close_connection = True
+            self._send_error_json(401, "ServiceError",
+                                  "unauthorized: bad or missing store token")
+            return
+        job_id = self.path[len("/trace/"):]
+        if not _SAFE_JOB_ID.fullmatch(job_id):
+            self._send_error_json(400, "ServiceError",
+                                  f"invalid job id {job_id!r}")
+            return
+        payload, cache_status = self._rendered_trace(job_id)
+        if payload is None:
+            self._send_error_json(404, "ServiceError",
+                                  f"no trace recorded for {job_id!r}")
+            return
+        self._trace_id = str(payload.get("trace_id", ""))
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Repro-Trace-Id", self._trace_id)
+        self.send_header("X-Repro-Cache-Status", cache_status)
+        self._send_duration_header()
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _rendered_trace(self, job_id: str) -> tuple[dict | None, str]:
+        """The job's trace payload, re-read at most once per cache TTL.
+
+        Missing traces cache too (as ``None``), so a storm of 404 polls
+        costs one store read per TTL.  The cache is bounded FIFO — a
+        serve process watching thousands of jobs stays flat.
+        """
+        server = self.server
+        lock = getattr(server, "trace_lock", None)
+        if lock is None:
+            return trace.load_trace(server.store, job_id), "miss"  # type: ignore[attr-defined]
+        ttl = getattr(server, "trace_ttl", 1.0)
+        now = time.monotonic()
+        with lock:
+            cached = server.trace_cache.get(job_id)  # type: ignore[attr-defined]
+            if cached is not None and now - cached[0] < ttl:
+                return cached[1], "hit"
+        payload = trace.load_trace(server.store, job_id)  # type: ignore[attr-defined]
+        with lock:
+            cache = server.trace_cache  # type: ignore[attr-defined]
+            cache[job_id] = (now, payload)
+            while len(cache) > 256:
+                cache.pop(next(iter(cache)))
+        return payload, "miss"
 
     def _rendered_metrics(self) -> tuple[str, str]:
         """The exposition text, re-rendered at most once per cache TTL.
@@ -343,6 +410,7 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         # connection on rejection keeps keep-alive streams in sync
         # without draining — the unread body dies with the socket.
         self._started = time.perf_counter()
+        self._trace_id = ""
         if self.path not in ("/rpc", "/telemetry"):
             self.close_connection = True
             self._send_error_json(404, "ServiceError", f"no such path {self.path!r}")
@@ -368,6 +436,12 @@ class _StoreRequestHandler(BaseHTTPRequestHandler):
         if self.path == "/telemetry":
             self._handle_telemetry(request)
             return
+        # Optional traceparent riding the envelope (wire-protocol-v1
+        # compatible: old clients omit it, and only "method"/"params"
+        # drive dispatch).  It comes back as X-Repro-Trace-Id.
+        parsed_trace = trace.parse_traceparent(request.get("trace"))
+        if parsed_trace is not None:
+            self._trace_id = parsed_trace[0]
         method = request.get("method", "")
         params = request.get("params") or {}
         handler = _METHODS.get(method)
@@ -439,6 +513,10 @@ class JobStoreServer:
         self._httpd.metrics_lock = threading.Lock()  # type: ignore[attr-defined]
         self._httpd.metrics_cache = (0.0, "")  # type: ignore[attr-defined]
         self._httpd.metrics_ttl = 1.0  # type: ignore[attr-defined]
+        # /trace/<job> read cache: job_id -> (monotonic read_at, payload).
+        self._httpd.trace_lock = threading.Lock()  # type: ignore[attr-defined]
+        self._httpd.trace_cache = {}  # type: ignore[attr-defined]
+        self._httpd.trace_ttl = 1.0  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
         self._serving = False
 
@@ -567,25 +645,35 @@ class RemoteJobStore:
     # -- transport ----------------------------------------------------------
 
     def _call(self, method: str, **params: object) -> object:
-        body = json.dumps({"method": method, "params": params}).encode("utf-8")
+        envelope: dict[str, object] = {"method": method, "params": params}
+        traceparent = trace.format_traceparent()
+        if traceparent:
+            # Optional, wire-protocol-v1 compatible: old servers read
+            # only "method"/"params" and ignore the extra field.
+            envelope["trace"] = traceparent
+        body = json.dumps(envelope).encode("utf-8")
         headers = {"Content-Type": "application/json"}
         if self.token:
             headers["Authorization"] = f"Bearer {self.token}"
         last_error: Exception | None = None
-        for attempt in range(self.retries + 1):
-            if attempt:
-                time.sleep(self.backoff * (2 ** (attempt - 1)))
-            request = urllib.request.Request(
-                f"{self.base_url}/rpc", data=body, headers=headers, method="POST"
-            )
-            try:
-                with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                    payload = json.loads(response.read().decode("utf-8"))
-                return payload.get("result")
-            except urllib.error.HTTPError as exc:
-                raise _mapped_error(exc) from None
-            except (OSError, http.client.HTTPException, TimeoutError) as exc:
-                last_error = exc
+        with trace.span("repro.rpc", method=method):
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    time.sleep(self.backoff * (2 ** (attempt - 1)))
+                request = urllib.request.Request(
+                    f"{self.base_url}/rpc", data=body, headers=headers,
+                    method="POST",
+                )
+                try:
+                    with urllib.request.urlopen(
+                        request, timeout=self.timeout
+                    ) as response:
+                        payload = json.loads(response.read().decode("utf-8"))
+                    return payload.get("result")
+                except urllib.error.HTTPError as exc:
+                    raise _mapped_error(exc) from None
+                except (OSError, http.client.HTTPException, TimeoutError) as exc:
+                    last_error = exc
         raise StoreUnavailableError(
             f"job store at {self.base_url} unreachable after "
             f"{self.retries + 1} attempt(s): {last_error}"

@@ -31,7 +31,7 @@ from repro.exceptions import ServiceError
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.metrics.evaluation import ProtectionEvaluator, ProtectionScore
 from repro.metrics.score import score_function_by_name
-from repro.obs import timeline_from_history
+from repro.obs import timeline_from_history, trace
 from repro.service.backends import ExecutionBackend, SerialBackend, create_backend
 from repro.service.cache import EvaluationCache
 from repro.service.checkpoint import CheckpointManager
@@ -110,19 +110,38 @@ def _execute_job(payload: dict) -> JobResult:
         if cache_path
         else None
     )
+    # Arriving trace context re-enables span recording here: a fresh
+    # process-pool worker starts with tracing off, but the submit side
+    # already opted this job in.
+    scope = None
+    trace_ctx = payload.get("trace")
+    if isinstance(trace_ctx, dict) and trace_ctx.get("id"):
+        scope = trace.activate(str(trace_ctx["id"]), str(trace_ctx.get("root") or ""))
     start = time.perf_counter()
     try:
-        outcome = run_experiment(
-            config,
-            evaluation_cache=cache,
-            checkpoint_every=checkpoint_every if manager is not None else 0,
-            on_checkpoint=manager.save if manager is not None else None,
-            resume_from=resume_from,
-        )
+        with trace.span(
+            "repro.run", dataset=job.dataset, seed=job.seed, resume=resume or None
+        ):
+            outcome = run_experiment(
+                config,
+                evaluation_cache=cache,
+                checkpoint_every=checkpoint_every if manager is not None else 0,
+                on_checkpoint=manager.save if manager is not None else None,
+                resume_from=resume_from,
+            )
+    except BaseException:
+        if scope is not None:
+            # Spans from the failed attempt stay recoverable through
+            # trace.take_stray_spans() in the settled wrapper.
+            trace.deactivate(scope)
+        raise
     finally:
         if cache is not None:
             cache.close()
-    return _job_result(job, outcome, time.perf_counter() - start, checkpoint_path)
+    result = _job_result(job, outcome, time.perf_counter() - start, checkpoint_path)
+    if scope is not None:
+        result.extras["trace_spans"] = trace.deactivate(scope)
+    return result
 
 
 def _execute_job_settled(payload: dict) -> dict:
@@ -130,12 +149,20 @@ def _execute_job_settled(payload: dict) -> dict:
 
     Returns a plain dict (``result`` xor ``error``) so one bad job cannot
     poison a whole fan-out: siblings keep their results and the caller
-    records each job's true outcome.
+    records each job's true outcome.  Trace spans ride back as their own
+    key — present in the failure case too, so the spans of a dying run
+    still reach the durable trace (failed jobs always flush).
     """
     try:
-        return {"result": _execute_job(payload).to_dict(), "error": ""}
+        result = _execute_job(payload)
+        spans = result.extras.pop("trace_spans", [])
+        return {"result": result.to_dict(), "error": "", "trace_spans": spans}
     except Exception as exc:  # noqa: BLE001 - the error is the outcome
-        return {"result": None, "error": f"{type(exc).__name__}: {exc}"}
+        return {
+            "result": None,
+            "error": f"{type(exc).__name__}: {exc}",
+            "trace_spans": trace.take_stray_spans(),
+        }
 
 
 def _score_batch(payload: tuple) -> list[ProtectionScore]:
@@ -162,11 +189,17 @@ def _score_batch(payload: tuple) -> list[ProtectionScore]:
 
 @dataclass(frozen=True)
 class JobOutcome:
-    """Settled outcome of one job: a result or the error that ended it."""
+    """Settled outcome of one job: a result or the error that ended it.
+
+    ``trace_spans`` carries the run-side spans (run / generations /
+    evaluation batches) back to whoever flushes the job's durable trace
+    — populated only for jobs that arrived with trace context.
+    """
 
     job_id: str
     result: JobResult | None = None
     error: str = ""
+    trace_spans: tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -250,7 +283,9 @@ class JobRunner:
 
         return str(Path(self.checkpoint_dir) / f"{job.job_id}.json")
 
-    def _payload(self, job: ProtectionJob, resume: bool) -> dict:
+    def _payload(
+        self, job: ProtectionJob, resume: bool, trace_ctx: dict | None = None
+    ) -> dict:
         return {
             "job": job.to_dict(),
             "cache_path": self.cache_path,
@@ -260,24 +295,42 @@ class JobRunner:
             "resume": resume,
             "eval_workers": self.eval_workers,
             "eval_backend": self.eval_backend,
+            # Trace context crosses the (possibly process) backend
+            # boundary inside the payload; None for untraced jobs.
+            "trace": trace_ctx,
         }
 
     # -- fan-out entry points ----------------------------------------------
 
-    def run(self, jobs: Sequence[ProtectionJob], resume: bool = False) -> list[JobResult]:
+    def run(
+        self,
+        jobs: Sequence[ProtectionJob],
+        resume: bool = False,
+        traces: Sequence[dict | None] | None = None,
+    ) -> list[JobResult]:
         """Execute ``jobs`` over the backend; results in submission order.
 
         With ``resume=True`` every job must have an on-disk checkpoint
         (see ``checkpoint_dir``), and execution continues from it instead
-        of re-scoring an initial population.
+        of re-scoring an initial population.  ``traces`` (one trace
+        context or None per job, from the record's ``extras["trace"]``)
+        makes the run record spans; they come back in each result's
+        ``extras["trace_spans"]`` for the caller to pop and flush.
         """
         if not jobs:
             return []
-        payloads = [self._payload(job, resume) for job in jobs]
+        if traces is None:
+            traces = [None] * len(jobs)
+        payloads = [
+            self._payload(job, resume, ctx) for job, ctx in zip(jobs, traces)
+        ]
         return self.backend.map(_execute_job, payloads)
 
     def run_settled(
-        self, jobs: Sequence[ProtectionJob], resume: bool = False
+        self,
+        jobs: Sequence[ProtectionJob],
+        resume: bool = False,
+        traces: Sequence[dict | None] | None = None,
     ) -> list[JobOutcome]:
         """Execute ``jobs``, settling each one's outcome individually.
 
@@ -288,13 +341,18 @@ class JobRunner:
         """
         if not jobs:
             return []
-        payloads = [self._payload(job, resume) for job in jobs]
+        if traces is None:
+            traces = [None] * len(jobs)
+        payloads = [
+            self._payload(job, resume, ctx) for job, ctx in zip(jobs, traces)
+        ]
         settled = self.backend.map(_execute_job_settled, payloads)
         return [
             JobOutcome(
                 job_id=job.job_id,
                 result=JobResult.from_dict(out["result"]) if out["result"] else None,
                 error=out["error"],
+                trace_spans=tuple(out.get("trace_spans") or ()),
             )
             for job, out in zip(jobs, settled)
         ]

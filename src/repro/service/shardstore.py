@@ -64,7 +64,7 @@ import time
 from pathlib import Path
 
 from repro.exceptions import ServiceError, StoreUnavailableError, WorkerError
-from repro.obs import emit_event, get_registry
+from repro.obs import emit_event, get_registry, trace
 from repro.service.job import JobResult, ProtectionJob
 from repro.service.store import (
     QUEUED,
@@ -400,6 +400,8 @@ class ShardedJobStore:
             shard = self._placement_shard(job.job_id)
         record = shard.store.submit(job, extras)
         self._locations[job.job_id] = shard
+        # The submit-side span cannot know the shard; tag it from here.
+        trace.annotate_span(shard=shard.name)
         return record
 
     def save(self, record: JobRecord) -> None:
@@ -696,10 +698,22 @@ class ShardedJobStore:
 
     # -- checkpoints ---------------------------------------------------------
 
+    @staticmethod
+    def _blob_placement_id(blob_id: str) -> str:
+        """Placement key for a checkpoint-path blob id.
+
+        A job's trace blob (``<job_id>.trace``) must live on the shard
+        that holds the record — ``_shard_for`` on the raw blob id would
+        rendezvous-hash the suffixed string to a different shard.
+        """
+        if blob_id.endswith(trace.TRACE_BLOB_SUFFIX):
+            return blob_id[: -len(trace.TRACE_BLOB_SUFFIX)]
+        return blob_id
+
     def get_checkpoint(self, job_id: str) -> dict | None:
         """The durable checkpoint blob — owning shard first, local spool
         fallback for purely local runs that never claimed."""
-        shard = self._shard_for(job_id)
+        shard = self._shard_for(self._blob_placement_id(job_id))
         payload = shard.store.get_checkpoint(job_id)
         if payload is not None:
             return payload
@@ -715,7 +729,7 @@ class ShardedJobStore:
                        owner: str | None = None) -> None:
         """Store the blob on the owning shard (claim-gated with
         ``owner``) and mirror it to the local runner-facing file."""
-        shard = self._shard_for(job_id)
+        shard = self._shard_for(self._blob_placement_id(job_id))
         shard.store.put_checkpoint(job_id, payload, owner=owner)
         path = self._local_checkpoint(job_id)
         _atomic_write_json(path, payload)

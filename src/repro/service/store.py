@@ -805,8 +805,13 @@ def migrate_store(source, target, *, chunk_size: int = 100) -> dict[str, int]:
     ``migrate_progress`` event is emitted — ``repro migrate
     --log-json`` on a large store shows a heartbeat, not an hour of
     silence.  Returns counts of what was copied.
+
+    Durable trace blobs (``<job_id>.trace``, see
+    :mod:`repro.obs.trace`) ride the same checkpoint path, so a
+    migrated job keeps its waterfall too.
     """
     from repro.obs import emit_event
+    from repro.obs.trace import trace_blob_id
 
     if chunk_size < 1:
         raise ServiceError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -814,6 +819,7 @@ def migrate_store(source, target, *, chunk_size: int = 100) -> dict[str, int]:
     stream = iterator() if callable(iterator) else source.records()
     copied = 0
     checkpoints = 0
+    traces = 0
     for record in stream:
         target.save(record)
         copied += 1
@@ -821,9 +827,13 @@ def migrate_store(source, target, *, chunk_size: int = 100) -> dict[str, int]:
         if payload is not None:
             target.put_checkpoint(record.job_id, payload)
             checkpoints += 1
+        blob = source.get_checkpoint(trace_blob_id(record.job_id))
+        if blob is not None:
+            target.put_checkpoint(trace_blob_id(record.job_id), blob)
+            traces += 1
         if copied % chunk_size == 0:
             emit_event("migrate_progress", records=copied,
-                       checkpoints=checkpoints)
+                       checkpoints=checkpoints, traces=traces)
     emit_event("migrate_progress", records=copied, checkpoints=checkpoints,
-               done=True)
-    return {"records": copied, "checkpoints": checkpoints}
+               traces=traces, done=True)
+    return {"records": copied, "checkpoints": checkpoints, "traces": traces}

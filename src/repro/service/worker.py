@@ -42,7 +42,7 @@ import time
 import uuid
 
 from repro.exceptions import WorkerError
-from repro.obs import emit_event, get_registry
+from repro.obs import emit_event, get_registry, trace
 from repro.service.backends import create_backend
 from repro.service.checkpoint import FORMAT_VERSION
 from repro.service.runner import JobOutcome, JobRunner
@@ -278,6 +278,9 @@ class Worker:
             else self.stale_after / 4.0
         )
         self._last_telemetry_push = 0.0
+        # (start, duration) of the most recent claim round; feeds the
+        # ``repro.claim`` span of every record won in that round.
+        self._last_claim = (0.0, 0.0)
         if self.heartbeat_every >= self.stale_after:
             # Beating slower than the staleness bound means this
             # worker's live jobs look abandoned and get double-executed.
@@ -326,6 +329,7 @@ class Worker:
         single-record :meth:`process` path) the claim loop runs here
         over exactly those records.
         """
+        claim_started = time.time()
         if candidates is None:
             steal = getattr(self.store, "steal_batch", None)
             if callable(steal):
@@ -337,8 +341,11 @@ class Worker:
                 # store transaction (claim_queued counts both sides).
                 get_registry().inc("repro_worker_claims_total",
                                    len(batch), result="won")
-            return batch
-        return claim_queued(self.store, candidates, self.worker_id, limit=limit)
+        else:
+            batch = claim_queued(self.store, candidates, self.worker_id,
+                                 limit=limit)
+        self._last_claim = (claim_started, max(0.0, time.time() - claim_started))
+        return batch
 
     def _run_claimed(self, records: list[JobRecord]) -> list[JobOutcome]:
         """Execute records this worker owns; marks, heartbeats, releases.
@@ -368,7 +375,12 @@ class Worker:
                 for record in group:
                     self.store.mark_running(record)
                 settled = runner.run_settled(
-                    [record.job for record in group], resume=resume
+                    [record.job for record in group],
+                    resume=resume,
+                    traces=[
+                        trace.trace_context_from_extras(record.extras)
+                        for record in group
+                    ],
                 )
                 registry = get_registry()
                 for record, outcome in zip(group, settled):
@@ -390,9 +402,81 @@ class Worker:
                     outcomes[record.job_id] = outcome
         finally:
             beat.stop()
+            release_started = time.time()
             release_quietly(self.store, [r.job_id for r in records],
                             self.worker_id)
+            # Flush after the release so the release span makes the
+            # trace (trace-blob writes are owner-ungated, so losing the
+            # claim first does not block them).
+            self._flush_traces(
+                records, outcomes,
+                release=(release_started,
+                         max(0.0, time.time() - release_started)),
+            )
         return [outcomes[r.job_id] for r in records if r.job_id in outcomes]
+
+    def _flush_traces(
+        self,
+        records: list[JobRecord],
+        outcomes: dict[str, JobOutcome],
+        release: tuple[float, float],
+    ) -> None:
+        """Persist each traced record's spans to its durable trace blob.
+
+        Synthesizes the boundary spans only the worker can see — queue
+        wait (submit to claim), the claim round, the batch release —
+        merges the runner's spans (run / generations / evaluation
+        batches), and leaves the root span plus the head-sampling
+        decision to :func:`repro.obs.trace.flush_job_trace` (failed
+        jobs always persist).  Telemetry: flush failures are swallowed
+        and counted, never raised.
+        """
+        claim_started, claim_seconds = self._last_claim
+        release_started, release_seconds = release
+        shard_name_for = getattr(self.store, "shard_name_for", None)
+        for record in records:
+            info = trace.trace_context_from_extras(record.extras)
+            if info is None:
+                continue
+            trace_id, root = info["id"], info["root"]
+            shard = None
+            if callable(shard_name_for):
+                try:
+                    shard = shard_name_for(record.job_id)
+                except Exception:  # noqa: BLE001 - attribute only
+                    shard = None
+            spans = []
+            if record.submitted_at and claim_started > record.submitted_at:
+                spans.append(trace.make_span(
+                    trace_id, root, "repro.queue.wait",
+                    start=record.submitted_at,
+                    duration=claim_started - record.submitted_at,
+                ))
+            if claim_started:
+                spans.append(trace.make_span(
+                    trace_id, root, "repro.claim",
+                    start=claim_started, duration=claim_seconds,
+                    worker=self.worker_id, shard=shard,
+                ))
+            outcome = outcomes.get(record.job_id)
+            if outcome is not None:
+                spans.extend(outcome.trace_spans)
+            spans.append(trace.make_span(
+                trace_id, root, "repro.release",
+                start=release_started, duration=release_seconds,
+                worker=self.worker_id,
+            ))
+            # Re-read so the root span carries the post-run status (the
+            # sampling override keys off "failed"); fall back to the
+            # claimed-time record if the store read fails.
+            try:
+                current = self.store.get(record.job_id)
+            except Exception:  # noqa: BLE001 - telemetry only
+                current = record
+            trace.flush_job_trace(
+                self.store, current, spans,
+                end=release_started + release_seconds,
+            )
 
     def process(self, record: JobRecord) -> JobOutcome | None:
         """Claim and execute one record; ``None`` when it isn't ours to run.

@@ -77,6 +77,19 @@ class TestConcurrentExactness:
         expected_sum = THREADS * sum(0.001 * (i % 7) for i in range(PER_THREAD))
         assert hist["sum"] == pytest.approx(expected_sum)
 
+    def test_declare_histogram_after_observe_raises(self):
+        """Re-bucketing live series would silently mis-bin observations."""
+        registry = MetricsRegistry()
+        registry.declare_histogram("repro_test_seconds", (0.1, 1.0))
+        registry.observe("repro_test_seconds", 0.5)
+        with pytest.raises(ValueError, match="already has observations"):
+            registry.declare_histogram("repro_test_seconds", (0.5, 2.0))
+        # Declaring the identical bounds again is legal: import-time
+        # declares may run twice (module reload, multiple entry points).
+        registry.declare_histogram("repro_test_seconds", (0.1, 1.0))
+        # Bucket order must not matter for the identity check.
+        registry.declare_histogram("repro_test_seconds", (1.0, 0.1))
+
     def test_snapshot_while_writing_is_consistent(self):
         """Snapshots taken mid-hammer are detached, parseable, monotone."""
         registry = MetricsRegistry()
