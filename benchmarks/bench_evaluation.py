@@ -29,7 +29,7 @@ from __future__ import annotations
 import os
 import time
 
-from conftest import emit
+from conftest import emit, record_result
 
 from repro.data import CategoricalDataset
 from repro.datasets import load_flare, protected_attributes
@@ -97,6 +97,9 @@ def test_bench_batch_evaluation_beats_serial():
         assert process_scores == serial_scores
 
         speedup = serial_s / batch_s if batch_s else float("inf")
+        record_result("evaluation", f"serial-n{size}", serial_s)
+        record_result("evaluation", f"batch-n{size}", batch_s, ratio=speedup)
+        record_result("evaluation", f"process-n{size}", process_s)
         if size >= largest_size:
             largest_size, largest_speedup = size, speedup
         rate = len(population) / batch_s

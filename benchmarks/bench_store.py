@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 import time
 
-from conftest import emit
+from conftest import emit, record_result
 
 from repro.service import JobStore, ProtectionJob, ShardedJobStore, SqliteJobStore
 
@@ -87,6 +87,9 @@ def test_bench_store_sqlite_beats_file_scan(tmp_path):
         ratio = file_times[op] / sqlite_times[op] if sqlite_times[op] else float("inf")
         rows.append(f"{op:<14} {file_times[op]:>9.3f}s {sqlite_times[op]:>9.3f}s "
                     f"{ratio:>8.1f}x")
+        record_result("store", f"file-{op}", file_times[op])
+        record_result("store", f"sqlite-{op}", sqlite_times[op],
+                      ratio=min(ratio, 1e9))
     emit(
         f"store microbenchmark — {N_JOBS} jobs, {POLLS} polls, "
         f"claim batches of {BATCH}",
@@ -143,6 +146,9 @@ def test_bench_sharded_claim_drain_beats_single_file_store(tmp_path):
     shard_drain = _drain(sharded, len(jobs), steal=True)
 
     ratio = file_drain / shard_drain if shard_drain else float("inf")
+    record_result("store-sharded", "file-claim-drain", file_drain)
+    record_result("store-sharded", "shard-steal-drain", shard_drain,
+                  ratio=min(ratio, 1e9))
     emit(
         f"sharded claim+drain — {len(jobs)} jobs, batches of {BATCH}, "
         "2 sqlite shards vs one file store",

@@ -26,7 +26,7 @@ import os
 import statistics
 import time
 
-from conftest import emit
+from conftest import emit, record_result
 
 from repro import obs
 from repro.data import CategoricalDataset
@@ -109,6 +109,11 @@ def test_bench_telemetry_overhead_below_ceiling():
                 assert scores == baseline_scores
             ratio = statistics.median(on) / statistics.median(off)
             traced_ratio = statistics.median(traced) / statistics.median(off)
+            record_result("telemetry", f"off-n{size}", statistics.median(off))
+            record_result("telemetry", f"on-n{size}", statistics.median(on),
+                          ratio=ratio)
+            record_result("telemetry", f"traced-n{size}",
+                          statistics.median(traced), ratio=traced_ratio)
             worst = max(worst, ratio, traced_ratio)
             rows.append(
                 f"n={size:5d}  pop={len(population):4d}  "

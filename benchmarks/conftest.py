@@ -9,11 +9,51 @@ runs, or ``REPRO_BENCH_GENERATIONS=<n>`` to pin them exactly.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
 
 from repro.experiments.runner import ExperimentResult, default_generations
+
+#: Machine-readable rows collected by :func:`record_result`; written out
+#: as one JSON array when the session was started with ``--json PATH``.
+_RESULTS: list[dict] = []
+
+
+def record_result(bench: str, leg: str, median_seconds: float,
+                  ratio: float | None = None) -> None:
+    """Record one bench leg for the ``--json`` artifact.
+
+    Schema (one object per leg): ``{"bench": ..., "leg": ...,
+    "median_seconds": ..., "ratio": ...}`` — ``ratio`` is the leg's
+    headline comparison (speedup or overhead multiple) and is omitted
+    for purely informational legs.  CI uploads the array so perf runs
+    are diffable across commits without scraping the bench log.
+    """
+    entry: dict[str, object] = {
+        "bench": bench,
+        "leg": leg,
+        "median_seconds": float(median_seconds),
+    }
+    if ratio is not None:
+        entry["ratio"] = float(ratio)
+    _RESULTS.append(entry)
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--json", default="", metavar="PATH",
+        help="write machine-readable bench results to PATH as a JSON array",
+    )
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    path = session.config.getoption("--json", default="")
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(_RESULTS, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 
 def bench_generations(fallback: int = 400) -> int:

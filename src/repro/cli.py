@@ -346,6 +346,19 @@ def _record_payload(record, claims: dict[str, dict]) -> dict:
     if isinstance(trace_info, dict) and trace_info.get("id"):
         # Logs, metrics and traces join on this one key.
         payload["trace_id"] = str(trace_info["id"])
+    if record.job.islands >= 2:
+        from repro.service.islands import island_group_id
+
+        payload["island"] = {
+            "group": island_group_id(record.job),
+            "index": record.job.island_index,
+            "islands": record.job.islands,
+            "role": ("merge" if record.job.island_index >= record.job.islands
+                     else "member"),
+            "topology": record.job.topology,
+            "migrate_every": record.job.migrate_every,
+            "migrants": record.job.migrants,
+        }
     claim = claims.get(record.job_id)
     if claim is not None:
         payload["claim"] = claim
@@ -365,6 +378,71 @@ def _record_payload(record, claims: dict[str, dict]) -> dict:
     return payload
 
 
+def _island_cell(job) -> str:
+    """The status table's island column: ``i/P``, ``merge``, or ``-``."""
+    if job.islands < 2:
+        return "-"
+    if job.island_index >= job.islands:
+        return "merge"
+    return f"{job.island_index + 1}/{job.islands}"
+
+
+def _print_merge_front(record) -> None:
+    """Summarise a finished merge job's Pareto front, when there is one."""
+    if record.result is None:
+        return
+    info = record.result.extras.get("island")
+    if not isinstance(info, dict) or info.get("role") != "merge":
+        return
+    front = info.get("front") or []
+    print(f"merged Pareto front: {len(front)} point(s) from "
+          f"{len(info.get('members', ()))} island(s)")
+    for point in front[:8]:
+        il, dr = float(point[0]), float(point[1])
+        print(f"  IL={il:.4f}  DR={dr:.4f}")
+    if len(front) > 8:
+        print(f"  ... and {len(front) - 8} more")
+    degraded = info.get("degraded_members") or []
+    if degraded:
+        print(f"degraded (solo) islands: {', '.join(str(i) for i in degraded)}")
+
+
+def _run_island_group(args: argparse.Namespace, store, jobs, group: str) -> int:
+    """Inline execution for ``repro submit --islands`` (non-detached).
+
+    Island jobs park at exchange boundaries, so the inline path runs an
+    in-process :class:`Worker` through :func:`drive_group` — cooperative
+    round-robin over the members plus the final merge — instead of the
+    claim-then-run-to-completion block serial jobs use.
+    """
+    from repro.service.islands import drive_group
+    from repro.service.worker import Worker
+
+    worker = Worker(
+        store,
+        backend=args.backend,
+        max_workers=args.workers,
+        use_cache=not args.no_cache,
+        eval_workers=args.eval_workers,
+        eval_backend=args.eval_backend,
+    )
+    finals = drive_group(store, worker, [job.job_id for job in jobs])
+    failures = 0
+    for record in finals:
+        if record.status == "failed":
+            failures += 1
+            print(f"{record.job_id} failed: {record.error}", file=sys.stderr)
+    header = _STATUS_HEADER + ["island"]
+    rows = [_result_row(record) + [_island_cell(record.job)]
+            for record in finals]
+    print(format_table(header, rows,
+                       title=f"island group {group} via {args.backend} backend"))
+    _print_merge_front(finals[-1])
+    print(f"store: {_store_label(store)}" if _store_spec(args)
+          else f"state dir: {store.root}")
+    return 1 if failures else 0
+
+
 def cmd_submit(args: argparse.Namespace) -> int:
     from repro.service.job import ProtectionJob
     from repro.service.runner import JobRunner
@@ -380,7 +458,27 @@ def cmd_submit(args: argparse.Namespace) -> int:
         eval_workers=args.eval_workers,
         eval_backend=args.eval_backend,
     )
-    jobs = [base.with_seed(seed) for seed in _parse_seeds(args)]
+    islands = max(1, args.islands)
+    if islands > 1:
+        if args.seeds:
+            raise ReproError(
+                "--islands splits one seeded search across the fleet; "
+                "seed replicates are a different axis — submit each seed "
+                "as its own island group"
+            )
+        from repro.service.islands import island_group_id, plan_island_jobs
+
+        jobs = plan_island_jobs(
+            base,
+            islands,
+            migrate_every=args.migrate_every,
+            migrants=args.migrants,
+            topology=args.topology,
+        )
+        group = island_group_id(jobs[0])
+    else:
+        jobs = [base.with_seed(seed) for seed in _parse_seeds(args)]
+        group = ""
     from repro.obs import trace
 
     # The cadence — and, under --trace-sample, the trace identity —
@@ -416,8 +514,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
     pending = [r for r in records if r.status == "queued"]
     if args.detach:
         rows = [_result_row(store.get(record.job_id)) for record in records]
-        print(format_table(_STATUS_HEADER, rows,
-                           title=f"queued {len(pending)} job(s) (detached)"))
+        title = (f"queued island group {group}: {islands} member(s) + merge "
+                 "(detached)" if group
+                 else f"queued {len(pending)} job(s) (detached)")
+        print(format_table(_STATUS_HEADER, rows, title=title))
         print(f"store: {_store_label(store)}" if _store_spec(args)
               else f"state dir: {store.root}")
         if args.store:
@@ -427,7 +527,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
         else:
             hint = f" --state-dir {store.root}" if args.state_dir else ""
         print(f"run them with: repro worker --once{hint}")
+        if group:
+            print(f"island jobs park at exchange rounds; any number of "
+                  f"workers may drive the group (repro status --group {group})")
         return 0
+    if group:
+        return _run_island_group(args, store, jobs, group)
     from repro.service.worker import (
         ClaimHeartbeat,
         claim_queued,
@@ -542,6 +647,30 @@ def cmd_status(args: argparse.Namespace) -> int:
     label = _store_label(store)
     header = _STATUS_HEADER + ["owner", "heartbeat"]
     claims = store.claims()
+    if args.group:
+        from repro.service.islands import island_group_id
+
+        records = [r for r in store.records()
+                   if r.job.islands >= 2 and island_group_id(r.job) == args.group]
+        if not records:
+            print(f"no jobs in island group {args.group} ({label})")
+            return 1
+        if args.json:
+            payloads = [_record_payload(r, claims) for r in records]
+            print(json.dumps(payloads, indent=2, sort_keys=True))
+            return 0
+        rows = [_result_row(r) + [_island_cell(r.job)]
+                + _claim_cells(claims, r.job_id) for r in records]
+        group_header = (_STATUS_HEADER + ["island", "owner", "heartbeat"])
+        done = sum(1 for r in records if r.status == "completed")
+        print(format_table(
+            group_header, rows,
+            title=f"island group {args.group}: {done}/{len(records)} finished",
+        ))
+        merge = [r for r in records if r.job.island_index >= r.job.islands]
+        if merge:
+            _print_merge_front(merge[0])
+        return 0
     if args.job:
         record = store.get(args.job)
         shards = _shard_column(store, [record.job_id])
@@ -562,6 +691,14 @@ def cmd_status(args: argparse.Namespace) -> int:
             header = header + ["shard"]
             row = row + [shards[record.job_id]]
         print(format_table(header, [row], title=record.job_id))
+        if record.job.islands >= 2:
+            from repro.service.islands import island_group_id
+
+            role = _island_cell(record.job)
+            print(f"island: {role} of group {island_group_id(record.job)} "
+                  f"({record.job.topology}, every {record.job.migrate_every} "
+                  f"gen(s), top-{record.job.migrants} migrants)")
+            _print_merge_front(record)
         if record.error:
             print(f"error: {record.error}")
         stats = _evaluator_stats(record)
@@ -590,7 +727,13 @@ def cmd_status(args: argparse.Namespace) -> int:
     if not records:
         print(f"no jobs in {label}")
         return 0
-    rows = [_result_row(r) + _claim_cells(claims, r.job_id) for r in records]
+    island_col = any(r.job.islands >= 2 for r in records)
+    if island_col:
+        header = _STATUS_HEADER + ["island", "owner", "heartbeat"]
+        rows = [_result_row(r) + [_island_cell(r.job)]
+                + _claim_cells(claims, r.job_id) for r in records]
+    else:
+        rows = [_result_row(r) + _claim_cells(claims, r.job_id) for r in records]
     if shards is not None:
         header = header + ["shard"]
         rows = [row + [shards[r.job_id]] for row, r in zip(rows, records)]
@@ -627,6 +770,13 @@ def cmd_resume(args: argparse.Namespace) -> int:
     _enable_telemetry(args, "resume")
     store = _job_store(args)
     record = store.get(args.job)
+    if record.job.islands >= 2:
+        raise ReproError(
+            f"{record.job_id} belongs to an island group; island jobs resume "
+            "from their durable exchange checkpoints whenever a worker claims "
+            "them — run 'repro worker --once' against this store (or re-run "
+            "'repro submit --islands ...', which is idempotent) instead"
+        )
     if record.status == "completed" and not args.force:
         print(f"{record.job_id} is already completed; use --force to re-resume")
         return 0
@@ -732,17 +882,27 @@ def cmd_worker(args: argparse.Namespace) -> int:
             idle_exit=args.idle_exit,
             poll_max=args.poll_max,
         )
-    failures = 0
+    # An island job can settle several times in one drain (parked at an
+    # exchange, then finished) — report each job once, by its last word.
+    last: dict[str, object] = {}
     for outcome in outcomes:
-        if not outcome.ok:
+        last[outcome.job_id] = outcome
+    failures = 0
+    parked = 0
+    for outcome in last.values():
+        if outcome.parked is not None:
+            parked += 1
+        elif not outcome.ok:
             failures += 1
             print(f"{outcome.job_id} failed: {outcome.error}", file=sys.stderr)
     if not outcomes:
         print(f"no claimable queued jobs in {_store_label(store)}")
         return 0
-    rows = [_result_row(store.get(outcome.job_id)) for outcome in outcomes]
-    print(format_table(_STATUS_HEADER, rows,
-                       title=f"worker {worker.worker_id}: ran {len(outcomes)} job(s)"))
+    rows = [_result_row(store.get(job_id)) for job_id in last]
+    title = f"worker {worker.worker_id}: ran {len(last)} job(s)"
+    if parked:
+        title += f" ({parked} parked awaiting island peers)"
+    print(format_table(_STATUS_HEADER, rows, title=title))
     return 1 if failures else 0
 
 
@@ -1080,8 +1240,9 @@ def cmd_migrate(args: argparse.Namespace) -> int:
     dest = store_from_spec(args.dest, token=_store_token(args))
     counts = migrate_store(source, dest, chunk_size=args.chunk_size)
     print(f"migrated {counts['records']} job record(s), "
-          f"{counts['checkpoints']} checkpoint(s) and "
-          f"{counts.get('traces', 0)} trace(s)")
+          f"{counts['checkpoints']} checkpoint(s), "
+          f"{counts.get('traces', 0)} trace(s) and "
+          f"{counts.get('migrants', 0)} migrant blob(s)")
     print(f"  from: {_store_label(source)}")
     print(f"  to:   {_store_label(dest)}")
     if counts["records"]:
@@ -1213,6 +1374,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drop-best", type=float, default=0.0)
     p.add_argument("--checkpoint-every", type=int, default=25,
                    help="generations between checkpoints (0 disables)")
+    p.add_argument("--islands", type=int, default=1,
+                   help="split the search into this many island populations "
+                        "exchanging elite migrants (plus one merge job); "
+                        "deterministic for a given seed regardless of worker "
+                        "count")
+    p.add_argument("--migrate-every", type=int, default=25, metavar="M",
+                   help="with --islands: generations between migrant exchanges")
+    p.add_argument("--migrants", type=int, default=2, metavar="K",
+                   help="with --islands: top-k elites each island publishes "
+                        "per exchange")
+    p.add_argument("--topology", default="ring", choices=["ring", "star", "full"],
+                   help="with --islands: which peers each island receives "
+                        "migrants from")
     p.add_argument("--detach", action="store_true",
                    help="queue the jobs and return; execute later with 'repro worker'")
     add_service_options(p)
@@ -1299,6 +1473,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("status", help="show the service's job table")
     p.add_argument("--job", default="", help="show one job in detail")
+    p.add_argument("--group", default="", metavar="GROUP_ID",
+                   help="show one island group (ig-... id printed by "
+                        "'repro submit --islands')")
     p.add_argument("--json", action="store_true",
                    help="print machine-readable job records instead of tables")
     add_store_options(p)

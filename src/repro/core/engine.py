@@ -163,6 +163,8 @@ class EvolutionaryProtector:
         on_generation: Callable[[GenerationRecord], None] | None = None,
         checkpoint_every: int = 0,
         on_checkpoint: Callable[[EngineCheckpoint], None] | None = None,
+        migration_every: int = 0,
+        on_migration: Callable[[Population, int, Callable[[], EngineCheckpoint]], None] | None = None,
     ) -> EvolutionResult:
         """Run the GA until ``stopping`` fires; returns the full result.
 
@@ -172,6 +174,13 @@ class EvolutionaryProtector:
         ``checkpoint_every`` is positive, ``on_checkpoint`` receives an
         :class:`EngineCheckpoint` after every that-many generations (and
         once more when the run ends), enabling interrupt-safe restarts.
+        When ``migration_every`` is positive, ``on_migration`` fires
+        after every that-many generations with the live population, the
+        generation number, and a zero-argument capture callable that
+        snapshots the full engine state — the island-model exchange hook
+        (see :mod:`repro.service.islands`).  The hook may mutate the
+        population in place (elite injection); it must not draw from the
+        run RNG, so seeded runs stay bit-identical with or without it.
         """
         individuals = self._coerce_initial(initial)
         if len(individuals) < 2:
@@ -186,6 +195,8 @@ class EvolutionaryProtector:
             on_generation=on_generation,
             checkpoint_every=checkpoint_every,
             on_checkpoint=on_checkpoint,
+            migration_every=migration_every,
+            on_migration=on_migration,
         )
 
     def resume(
@@ -195,6 +206,8 @@ class EvolutionaryProtector:
         on_generation: Callable[[GenerationRecord], None] | None = None,
         checkpoint_every: int = 0,
         on_checkpoint: Callable[[EngineCheckpoint], None] | None = None,
+        migration_every: int = 0,
+        on_migration: Callable[[Population, int, Callable[[], EngineCheckpoint]], None] | None = None,
     ) -> EvolutionResult:
         """Continue a checkpointed run exactly where it left off.
 
@@ -203,7 +216,9 @@ class EvolutionaryProtector:
         (count-based rules see the restored history, so e.g.
         ``MaxGenerations(200)`` means 200 generations *total*).  Given
         the same evaluator configuration, resume is bit-identical to
-        never having stopped.
+        never having stopped.  ``migration_every`` / ``on_migration``
+        behave exactly as in :meth:`run`; a hook boundary the checkpoint
+        already passed does not re-fire.
         """
         if not checkpoint.individuals:
             raise EvolutionError("checkpoint holds an empty population")
@@ -217,6 +232,8 @@ class EvolutionaryProtector:
             on_generation=on_generation,
             checkpoint_every=checkpoint_every,
             on_checkpoint=on_checkpoint,
+            migration_every=migration_every,
+            on_migration=on_migration,
         )
 
     # -- internals ----------------------------------------------------------
@@ -231,12 +248,17 @@ class EvolutionaryProtector:
         on_generation: Callable[[GenerationRecord], None] | None,
         checkpoint_every: int,
         on_checkpoint: Callable[[EngineCheckpoint], None] | None,
+        migration_every: int = 0,
+        on_migration: Callable[[Population, int, Callable[[], EngineCheckpoint]], None] | None = None,
     ) -> EvolutionResult:
         if isinstance(stopping, int):
             stopping = MaxGenerations(stopping)
         if checkpoint_every < 0:
             raise EvolutionError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        if migration_every < 0:
+            raise EvolutionError(f"migration_every must be >= 0, got {migration_every}")
         emit = on_checkpoint if checkpoint_every else None
+        migrate = on_migration if migration_every else None
         stepped = False
         while not stopping.should_stop(history):
             generation += 1
@@ -252,6 +274,15 @@ class EvolutionaryProtector:
             stepped = True
             if on_generation is not None:
                 on_generation(record)
+            if migrate is not None and generation % migration_every == 0:
+                # The hook runs before the checkpoint emit so a
+                # checkpoint at an exchange boundary captures the
+                # post-injection population (resume-consistent).
+                migrate(
+                    population,
+                    generation,
+                    lambda: self._capture(population, initial_snapshot, history, generation),
+                )
             if emit is not None and generation % checkpoint_every == 0:
                 emit(self._capture(population, initial_snapshot, history, generation))
         if emit is not None and stepped and generation % checkpoint_every != 0:

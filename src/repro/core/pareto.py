@@ -169,17 +169,22 @@ class ParetoEvolutionaryProtector:
         require_population(self.evaluator.original, initial)
         if len(initial) < 2:
             raise EvolutionError("the Pareto GA needs at least 2 protections")
+        # One evaluation batch for the whole initial population: dedup,
+        # bulk cache rounds, and the evaluator's executor fan-out all
+        # apply (batch[i] == scalar bit-for-bit by the compute_many
+        # contract, so results are unchanged).
+        initial_evaluations = self.evaluator.evaluate_many(list(initial))
         population = [
-            Individual(dataset=d, evaluation=self.evaluator.evaluate(d), origin="initial")
-            for d in initial
+            Individual(dataset=d, evaluation=evaluation, origin="initial")
+            for d, evaluation in zip(initial, initial_evaluations)
         ]
         front_sizes: list[int] = []
+        registry = get_registry()
 
         for generation in range(1, generations + 1):
             objectives = self._objectives(population)
             fronts = non_dominated_sort(objectives)
             front_sizes.append(int(fronts[0].size))
-            registry = get_registry()
             if registry.enabled:
                 registry.set_gauge("repro_pareto_front_size", front_sizes[-1])
                 emit_event("pareto_generation", generation=generation,
@@ -189,14 +194,20 @@ class ParetoEvolutionaryProtector:
             parent = population[parent_index]
             attributes = self.evaluator.attributes
 
-            children: list[Individual] = []
+            # Offspring are evaluated as one batch per generation (a
+            # singleton for mutation, the sibling pair for crossover):
+            # shared intermediates are computed once, caches are
+            # consulted in bulk, and the evaluator's executor applies.
+            # Evaluation is pure, so the RNG stream — and therefore the
+            # run — is bit-identical to the old scalar calls.
             if self._rng.random() < self.mutation_probability:
                 child_data = mutate(parent.dataset, attributes, seed=self._rng,
                                     name=f"pareto:gen{generation}:mut")
-                children.append(
-                    Individual(child_data, self.evaluator.evaluate(child_data),
+                (child_eval,) = self.evaluator.evaluate_many([child_data])
+                children = [
+                    Individual(child_data, child_eval,
                                origin="mutation", birth_generation=generation)
-                )
+                ]
             else:
                 mate_index = self._select_parent_index(fronts)
                 mate = population[mate_index]
@@ -204,11 +215,12 @@ class ParetoEvolutionaryProtector:
                     parent.dataset, mate.dataset, attributes, seed=self._rng,
                     names=(f"pareto:gen{generation}:xA", f"pareto:gen{generation}:xB"),
                 )
-                for data in (data_a, data_b):
-                    children.append(
-                        Individual(data, self.evaluator.evaluate(data),
-                                   origin="crossover", birth_generation=generation)
-                    )
+                eval_a, eval_b = self.evaluator.evaluate_many([data_a, data_b])
+                children = [
+                    Individual(data, evaluation,
+                               origin="crossover", birth_generation=generation)
+                    for data, evaluation in zip((data_a, data_b), (eval_a, eval_b))
+                ]
 
             for child in children:
                 parent_objs = (parent.information_loss, parent.disclosure_risk)

@@ -20,6 +20,11 @@ same contract (rendezvous placement + fleet work-stealing);
 :func:`store_from_spec` opens any backend from its spec string
 (``file:DIR`` / ``sqlite:PATH`` / ``http://...`` / ``shard:...``) and
 :func:`migrate_store` moves state between them.
+:func:`plan_island_jobs` splits one seeded search into an island-model
+group — member jobs exchanging elite migrants through the store on a
+fixed cadence plus a merge job consolidating the Pareto front
+(``repro submit --islands P``) — that any fleet of the above drives
+deterministically.
 """
 
 from repro.service.backends import (
@@ -35,6 +40,18 @@ from repro.service.checkpoint import (
     CheckpointManager,
     checkpoint_from_dict,
     checkpoint_to_dict,
+)
+from repro.service.islands import (
+    MIGRANTS_BLOB_SUFFIX,
+    TOPOLOGIES,
+    IslandParked,
+    drive_group,
+    front_dominates_or_matches,
+    island_group_id,
+    island_topology,
+    member_job_ids,
+    migrants_blob_id,
+    plan_island_jobs,
 )
 from repro.service.job import JobResult, ProtectionJob
 from repro.service.netstore import PROTOCOL_VERSION, JobStoreServer, RemoteJobStore
@@ -75,6 +92,16 @@ __all__ = [
     "STORE_PROTOCOL",
     "Worker",
     "ClaimHeartbeat",
+    "IslandParked",
+    "MIGRANTS_BLOB_SUFFIX",
+    "TOPOLOGIES",
+    "plan_island_jobs",
+    "island_topology",
+    "island_group_id",
+    "member_job_ids",
+    "migrants_blob_id",
+    "drive_group",
+    "front_dominates_or_matches",
     "default_state_dir",
     "ExecutionBackend",
     "SerialBackend",

@@ -42,6 +42,18 @@ class ProtectionJob:
     selection_strategy: str = "proportional"
     eval_workers: int = 0
     eval_backend: str = "thread"
+    #: Island-model fields (see :mod:`repro.service.islands`): with
+    #: ``islands >= 2`` this job is one member of a cooperating group —
+    #: ``island_index`` in ``[0, islands)`` runs one population on its
+    #: own RNG stream, ``island_index == islands`` is the final
+    #: Pareto-merge job — exchanging ``migrants`` elites every
+    #: ``migrate_every`` generations over the ``topology`` neighbour
+    #: map.  All five default to inactive so plain jobs are unchanged.
+    islands: int = 0
+    island_index: int = 0
+    migrate_every: int = 0
+    migrants: int = 0
+    topology: str = ""
 
     #: Pure throughput knobs: evaluation is pure, so these can never
     #: change a run's results and must not change its identity — the
@@ -49,16 +61,30 @@ class ProtectionJob:
     #: old stores' fingerprints stay valid).
     _EXECUTION_FIELDS = frozenset({"eval_workers", "eval_backend"})
 
+    #: The island-model fields.  Excluded from the fingerprint while
+    #: inactive (``islands <= 1``) so every pre-island job keeps its
+    #: historical content hash — stores full of finished jobs must not
+    #: see their identities shift under a schema extension.  Active
+    #: island fields *do* change results (different RNG streams,
+    #: migrant exchange), so they are hashed then.
+    _ISLAND_FIELDS = frozenset(
+        {"islands", "island_index", "migrate_every", "migrants", "topology"}
+    )
+
     def fingerprint(self) -> str:
         """Stable content hash: equal jobs hash equal, always.
 
         Covers every field that can change the run's results; execution
-        fields (:attr:`_EXECUTION_FIELDS`) are excluded.
+        fields (:attr:`_EXECUTION_FIELDS`) are excluded, and the island
+        fields (:attr:`_ISLAND_FIELDS`) only count while active.
         """
+        excluded = self._EXECUTION_FIELDS
+        if self.islands <= 1:
+            excluded = excluded | self._ISLAND_FIELDS
         payload = {
             key: value
             for key, value in asdict(self).items()
-            if key not in self._EXECUTION_FIELDS
+            if key not in excluded
         }
         blob = json.dumps(payload, sort_keys=True).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()
@@ -73,8 +99,18 @@ class ProtectionJob:
         return replace(self, seed=seed)
 
     def to_config(self) -> ExperimentConfig:
-        """The experiment-harness view of this job."""
-        return ExperimentConfig(**asdict(self))
+        """The experiment-harness view of this job.
+
+        The island fields stay behind: the experiment harness runs one
+        population — island orchestration happens a layer above it, in
+        :mod:`repro.service.islands`.
+        """
+        payload = {
+            key: value
+            for key, value in asdict(self).items()
+            if key not in self._ISLAND_FIELDS
+        }
+        return ExperimentConfig(**payload)
 
     @classmethod
     def from_config(cls, config: ExperimentConfig) -> "ProtectionJob":

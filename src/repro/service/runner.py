@@ -35,6 +35,7 @@ from repro.obs import timeline_from_history, trace
 from repro.service.backends import ExecutionBackend, SerialBackend, create_backend
 from repro.service.cache import EvaluationCache
 from repro.service.checkpoint import CheckpointManager
+from repro.service.islands import IslandParked, register_store, store_spec_of
 from repro.service.job import JobResult, ProtectionJob
 
 # -- worker functions (module-level so the process backend can pickle them) --
@@ -80,6 +81,13 @@ def _execute_job(payload: dict) -> JobResult:
     can never change the job's results (or its identity).
     """
     job = ProtectionJob.from_dict(payload["job"])
+    if job.islands >= 2:
+        # Island-group jobs have their own executor: they need the job
+        # store (migrant buffers, durable segment checkpoints) and can
+        # yield mid-run (IslandParked) — neither fits the plain path.
+        from repro.service.islands import execute_island_job
+
+        return execute_island_job(payload)
     config = job.to_config()
     runner_eval_workers = int(payload.get("eval_workers") or 0)
     if config.eval_workers == 0 and runner_eval_workers:
@@ -152,11 +160,23 @@ def _execute_job_settled(payload: dict) -> dict:
     records each job's true outcome.  Trace spans ride back as their own
     key — present in the failure case too, so the spans of a dying run
     still reach the durable trace (failed jobs always flush).
+
+    A parked island job (see :mod:`repro.service.islands`) is a third
+    outcome — neither result nor error: the ``parked`` key carries the
+    yield details so the worker requeues the record instead of marking
+    it failed.
     """
     try:
         result = _execute_job(payload)
         spans = result.extras.pop("trace_spans", [])
         return {"result": result.to_dict(), "error": "", "trace_spans": spans}
+    except IslandParked as parked:
+        return {
+            "result": None,
+            "error": "",
+            "parked": parked.to_dict(),
+            "trace_spans": trace.take_stray_spans(),
+        }
     except Exception as exc:  # noqa: BLE001 - the error is the outcome
         return {
             "result": None,
@@ -189,17 +209,22 @@ def _score_batch(payload: tuple) -> list[ProtectionScore]:
 
 @dataclass(frozen=True)
 class JobOutcome:
-    """Settled outcome of one job: a result or the error that ended it.
+    """Settled outcome of one job: a result, an error, or a park.
 
     ``trace_spans`` carries the run-side spans (run / generations /
     evaluation batches) back to whoever flushes the job's durable trace
     — populated only for jobs that arrived with trace context.
+
+    ``parked`` (island jobs only) means the job yielded its claim at an
+    exchange boundary — checkpointed, not failed; the worker requeues
+    it (see :func:`repro.service.islands.park_record`).
     """
 
     job_id: str
     result: JobResult | None = None
     error: str = ""
     trace_spans: tuple = ()
+    parked: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -240,6 +265,12 @@ class JobRunner:
         2``, each run's evaluator fans fresh evaluation batches out
         over that many ``thread`` or ``process`` workers.  Evaluation
         is pure — these change throughput, never results.
+    store:
+        The job store island-group jobs exchange migrants and durable
+        segment checkpoints through.  In-process backends reach the
+        exact live object (weak registry); the process backend falls
+        back to reopening from the store's spec.  Plain jobs never
+        touch it; island jobs without it fail with a clear error.
     """
 
     def __init__(
@@ -252,6 +283,7 @@ class JobRunner:
         checkpoint_every: int = 0,
         eval_workers: int = 0,
         eval_backend: str = "thread",
+        store: object | None = None,
     ) -> None:
         if checkpoint_every < 0:
             raise ServiceError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
@@ -272,6 +304,11 @@ class JobRunner:
         self.checkpoint_every = checkpoint_every
         self.eval_workers = int(eval_workers)
         self.eval_backend = eval_backend
+        self.store = store
+        self._store_ref = register_store(store) if store is not None else ""
+        self._store_spec, self._store_token = (
+            store_spec_of(store) if store is not None else ("", "")
+        )
 
     # -- payload plumbing ---------------------------------------------------
 
@@ -298,6 +335,11 @@ class JobRunner:
             # Trace context crosses the (possibly process) backend
             # boundary inside the payload; None for untraced jobs.
             "trace": trace_ctx,
+            # The job store, for island-group jobs: a live-object token
+            # for in-process backends plus a reopenable spec fallback.
+            "store_ref": self._store_ref,
+            "store_spec": self._store_spec,
+            "store_token": self._store_token,
         }
 
     # -- fan-out entry points ----------------------------------------------
@@ -353,6 +395,7 @@ class JobRunner:
                 result=JobResult.from_dict(out["result"]) if out["result"] else None,
                 error=out["error"],
                 trace_spans=tuple(out.get("trace_spans") or ()),
+                parked=out.get("parked"),
             )
             for job, out in zip(jobs, settled)
         ]

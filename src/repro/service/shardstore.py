@@ -702,12 +702,19 @@ class ShardedJobStore:
     def _blob_placement_id(blob_id: str) -> str:
         """Placement key for a checkpoint-path blob id.
 
-        A job's trace blob (``<job_id>.trace``) must live on the shard
-        that holds the record — ``_shard_for`` on the raw blob id would
-        rendezvous-hash the suffixed string to a different shard.
+        A job's trace blob (``<job_id>.trace``) and island migrant
+        buffer (``<job_id>.migrants``) must live on the shard that
+        holds the record — ``_shard_for`` on the raw blob id would
+        rendezvous-hash the suffixed string to a different shard.  The
+        suffix literal is kept in :mod:`repro.service.islands`; it is
+        duplicated here only through that import, never retyped.
         """
+        from repro.service.islands import MIGRANTS_BLOB_SUFFIX
+
         if blob_id.endswith(trace.TRACE_BLOB_SUFFIX):
             return blob_id[: -len(trace.TRACE_BLOB_SUFFIX)]
+        if blob_id.endswith(MIGRANTS_BLOB_SUFFIX):
+            return blob_id[: -len(MIGRANTS_BLOB_SUFFIX)]
         return blob_id
 
     def get_checkpoint(self, job_id: str) -> dict | None:

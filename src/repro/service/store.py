@@ -807,11 +807,14 @@ def migrate_store(source, target, *, chunk_size: int = 100) -> dict[str, int]:
     silence.  Returns counts of what was copied.
 
     Durable trace blobs (``<job_id>.trace``, see
-    :mod:`repro.obs.trace`) ride the same checkpoint path, so a
-    migrated job keeps its waterfall too.
+    :mod:`repro.obs.trace`) and island migrant buffers
+    (``<job_id>.migrants``, see :mod:`repro.service.islands`) ride the
+    same checkpoint path, so a migrated job keeps its waterfall and a
+    migrated island group keeps its exchange history too.
     """
     from repro.obs import emit_event
     from repro.obs.trace import trace_blob_id
+    from repro.service.islands import migrants_blob_id
 
     if chunk_size < 1:
         raise ServiceError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -820,6 +823,7 @@ def migrate_store(source, target, *, chunk_size: int = 100) -> dict[str, int]:
     copied = 0
     checkpoints = 0
     traces = 0
+    migrants = 0
     for record in stream:
         target.save(record)
         copied += 1
@@ -831,9 +835,15 @@ def migrate_store(source, target, *, chunk_size: int = 100) -> dict[str, int]:
         if blob is not None:
             target.put_checkpoint(trace_blob_id(record.job_id), blob)
             traces += 1
+        buffer = source.get_checkpoint(migrants_blob_id(record.job_id))
+        if buffer is not None:
+            target.put_checkpoint(migrants_blob_id(record.job_id), buffer)
+            migrants += 1
         if copied % chunk_size == 0:
             emit_event("migrate_progress", records=copied,
-                       checkpoints=checkpoints, traces=traces)
+                       checkpoints=checkpoints, traces=traces,
+                       migrants=migrants)
     emit_event("migrate_progress", records=copied, checkpoints=checkpoints,
-               traces=traces, done=True)
-    return {"records": copied, "checkpoints": checkpoints, "traces": traces}
+               traces=traces, migrants=migrants, done=True)
+    return {"records": copied, "checkpoints": checkpoints, "traces": traces,
+            "migrants": migrants}

@@ -300,6 +300,9 @@ class Worker:
             checkpoint_every=int(record.extras.get("checkpoint_every", 0)),
             eval_workers=self.eval_workers,
             eval_backend=self.eval_backend,
+            # Island-group jobs exchange migrants and durable segment
+            # checkpoints through this worker's store.
+            store=self.store,
         )
 
     def _resumable(self, record: JobRecord) -> bool:
@@ -392,6 +395,20 @@ class Worker:
                                    worker=self.worker_id,
                                    wall_seconds=round(
                                        outcome.result.wall_seconds, 3))
+                    elif outcome.parked is not None:
+                        # An island job yielded at an exchange boundary:
+                        # its state is durably checkpointed — requeue it
+                        # (behind the queue) rather than mark it failed.
+                        from repro.service.islands import park_record
+
+                        park_record(self.store, record, outcome.parked)
+                        registry.inc("repro_worker_jobs_total",
+                                     outcome="parked")
+                        emit_event("job_parked", job_id=record.job_id,
+                                   worker=self.worker_id,
+                                   round=outcome.parked.get("round"),
+                                   generation=outcome.parked.get("generation"),
+                                   waiting_on=outcome.parked.get("waiting_on"))
                     else:
                         self.store.mark_failed(record, outcome.error)
                         registry.inc("repro_worker_jobs_total",
@@ -500,19 +517,74 @@ class Worker:
         ``max_jobs`` set — as soon as that many jobs have run.  Stale
         claims are recovered first, so jobs abandoned by a crashed
         worker re-enter this very drain.
+
+        Parked island jobs neither count toward ``max_jobs`` (they are
+        yields, not finishes) nor keep the drain alive on their own:
+        once *every* queued job has re-parked at an unchanged exchange
+        boundary since the last real progress, the missing migrants
+        must come from outside this worker, so spinning here cannot
+        help — the drain returns and the poll loop (or a peer worker)
+        takes over.  The every-queued-job bar matters on a sharded
+        store, where claim order favours the worker's home shard: one
+        stalled home-shard island must not mask runnable peers on
+        other shards.
         """
         self.store.recover_stale_claims(self.stale_after)
         outcomes: list[JobOutcome] = []
+        finished = 0
+        parked_sigs: dict[str, tuple] = {}
+        stalled: set[str] = set()
+        bypass_stalled = False
         while True:
             limit = self.capacity
             if max_jobs:
-                limit = min(limit, max_jobs - len(outcomes))
+                limit = min(limit, max_jobs - finished)
                 if limit <= 0:
                     return outcomes
-            batch = self._claim_batch(limit)
+            if bypass_stalled:
+                # The store's own claim order (home shard first on a
+                # sharded fleet) would hand the stalled job straight
+                # back; claim around it from the explicit queue walk.
+                pool = [record for record in self.store.queued()
+                        if record.job_id not in stalled]
+                if not pool:
+                    return outcomes
+                batch = self._claim_batch(limit, candidates=pool)
+            else:
+                batch = self._claim_batch(limit)
             if not batch:
                 return outcomes
-            outcomes.extend(self._run_claimed(batch))
+            for record in batch:
+                # A record parked by an earlier drain carries its last
+                # park signature; seeding it here makes an immediate
+                # re-park read as "no progress" on the first pass.
+                prior = record.extras.get("island_parked")
+                if isinstance(prior, dict) and record.job_id not in parked_sigs:
+                    parked_sigs[record.job_id] = (prior.get("round"),
+                                                  prior.get("generation"))
+            settled = self._run_claimed(batch)
+            outcomes.extend(settled)
+            progressed = False
+            for outcome in settled:
+                if outcome.parked is None:
+                    finished += 1
+                    progressed = True
+                    continue
+                signature = (outcome.parked.get("round"),
+                             outcome.parked.get("generation"))
+                if parked_sigs.get(outcome.job_id) != signature:
+                    progressed = True
+                else:
+                    stalled.add(outcome.job_id)
+                parked_sigs[outcome.job_id] = signature
+            if progressed:
+                stalled.clear()
+                bypass_stalled = False
+                continue
+            queued_now = {record.job_id for record in self.store.queued()}
+            if queued_now <= stalled:
+                return outcomes
+            bypass_stalled = True
 
     def run(
         self,
@@ -542,14 +614,18 @@ class Worker:
             )
         registry = get_registry()
         outcomes: list[JobOutcome] = []
+        finished = 0
         idle_polls = 0
         delay = float(poll_seconds)
         while True:
-            remaining = max_jobs - len(outcomes) if max_jobs else 0
+            remaining = max_jobs - finished if max_jobs else 0
             batch = self.run_once(max_jobs=remaining)
             outcomes.extend(batch)
+            # Parked island yields are scheduling, not work done: only
+            # finished (completed/failed) jobs count toward max_jobs.
+            finished += sum(1 for o in batch if o.parked is None)
             self._maybe_push_telemetry(force=bool(batch))
-            if max_jobs and len(outcomes) >= max_jobs:
+            if max_jobs and finished >= max_jobs:
                 return outcomes
             if batch:
                 idle_polls = 0

@@ -307,7 +307,8 @@ class TestMigration:
         ids = self._populate(source)
         target = SqliteJobStore(tmp_path / "db" / "jobs.sqlite")
         counts = migrate_store(source, target)
-        assert counts == {"records": 3, "checkpoints": 1, "traces": 0}
+        assert counts == {"records": 3, "checkpoints": 1, "traces": 0,
+                          "migrants": 0}
         self._assert_mirrored(source, target, ids)
 
     def test_sqlite_to_file_roundtrip(self, tmp_path):
@@ -315,7 +316,8 @@ class TestMigration:
         ids = self._populate(source)
         target = JobStore(tmp_path / "dir")
         counts = migrate_store(source, target)
-        assert counts == {"records": 3, "checkpoints": 1, "traces": 0}
+        assert counts == {"records": 3, "checkpoints": 1, "traces": 0,
+                          "migrants": 0}
         self._assert_mirrored(source, target, ids)
 
 

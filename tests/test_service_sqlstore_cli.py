@@ -155,7 +155,7 @@ class TestMigrateCommand:
         assert main(["migrate", "--from", f"file:{tmp_path / 'dir'}",
                      "--to", db_spec]) == 0
         out = capsys.readouterr().out
-        assert "migrated 1 job record(s), 1 checkpoint(s) and 0 trace(s)" in out
+        assert "migrated 1 job record(s), 1 checkpoint(s), 0 trace(s) and 0 migrant blob(s)" in out
         migrated = SqliteJobStore(tmp_path / "db" / "jobs.sqlite")
         assert migrated.get(record.job_id).status == "queued"
         assert migrated.get_checkpoint(record.job_id) == {"generation": 1}

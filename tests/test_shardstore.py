@@ -562,7 +562,8 @@ class TestStreamingMigrate:
                 source.submit(job)
             target = JobStore(tmp_path / "dst")
             counts = migrate_store(source, target, chunk_size=3)
-            assert counts == {"records": 7, "checkpoints": 0, "traces": 0}
+            assert counts == {"records": 7, "checkpoints": 0, "traces": 0,
+                              "migrants": 0}
             progress = [json.loads(line) for line in
                         stream.getvalue().splitlines()
                         if json.loads(line)["event"] == "migrate_progress"]
@@ -589,7 +590,8 @@ class TestStreamingMigrate:
             source.put_checkpoint(job.job_id, {"seed": job.seed})
         target, children = two_shards(tmp_path / "fleet")
         counts = migrate_store(source, target)
-        assert counts == {"records": 10, "checkpoints": 10, "traces": 0}
+        assert counts == {"records": 10, "checkpoints": 10, "traces": 0,
+                          "migrants": 0}
         for job in submitted:
             home = target.shard_name_for(job.job_id)
             child = children[0 if home == "a" else 1]
